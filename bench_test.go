@@ -1,0 +1,374 @@
+package tolerance
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §2 for the experiment index and EXPERIMENTS.md
+// for measured results). Each benchmark regenerates the corresponding
+// artifact with a budget sized for `go test -bench`; cmd/tolerance-bench
+// prints the full rows/series and supports larger budgets.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tolerance/internal/cmdp"
+	"tolerance/internal/dist"
+	"tolerance/internal/emulation"
+	"tolerance/internal/ids"
+	"tolerance/internal/minbft"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/opt"
+	"tolerance/internal/pomdp"
+	"tolerance/internal/ppo"
+	"tolerance/internal/recovery"
+	"tolerance/internal/replica"
+	"tolerance/internal/transport"
+	"tolerance/internal/usig"
+)
+
+// BenchmarkFig04ValueFunction computes the optimal value function of the
+// node POMDP with exact incremental pruning (the alpha vectors of Fig 4).
+func BenchmarkFig04ValueFunction(b *testing.B) {
+	params := nodemodel.DefaultParams()
+	params.PA = 0.01 // Fig 4 configuration (App. E)
+	model, err := params.POMDP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip := &pomdp.IncrementalPruning{MaxVectors: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stages, err := ip.SolveFiniteHorizon(model, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stages[4]) == 0 {
+			b.Fatal("no alpha vectors")
+		}
+	}
+}
+
+// BenchmarkFig05CompromiseProb evaluates P[compromised or crashed by t]
+// without recoveries for the four pA values of Fig 5.
+func BenchmarkFig05CompromiseProb(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pa := range []float64{0.1, 0.05, 0.025, 0.01} {
+			p := nodemodel.DefaultParams()
+			p.PA = pa
+			p.PU = 0
+			curve := p.FailureProbByTime(100)
+			if curve[100] <= curve[1] {
+				b.Fatal("curve not increasing")
+			}
+		}
+	}
+}
+
+// BenchmarkFig06aMTTF computes the mean-time-to-failure sweep of Fig 6a.
+func BenchmarkFig06aMTTF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, pa := range []float64{0.1, 0.025, 0.01} {
+			q := (1 - pa) * (1 - 1e-5)
+			for _, n1 := range []int{10, 20, 40, 80} {
+				if _, err := cmdp.MTTF(n1, 3, 1, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig06bReliability computes the reliability curves of Fig 6b.
+func BenchmarkFig06bReliability(b *testing.B) {
+	q := (1 - 0.05) * (1 - 1e-5)
+	for i := 0; i < b.N; i++ {
+		for _, n1 := range []int{25, 50, 100} {
+			if _, err := cmdp.Reliability(n1, 3, 1, 100, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Solvers runs Algorithm 1 with each parametric optimizer on
+// Problem 1 (reduced budget; Table 2 / Figs 7-8 shape: CEM/DE/BO near the
+// DP optimum).
+func BenchmarkTable2Solvers(b *testing.B) {
+	params := nodemodel.DefaultParams()
+	optimizers := []opt.Optimizer{opt.CEM{Population: 30}, opt.DE{}, opt.BO{InitialSamples: 10}, opt.SPSA{}}
+	for _, po := range optimizers {
+		po := po
+		b.Run(po.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := recovery.Algorithm1(params, recovery.Algorithm1Config{
+					DeltaR:    recovery.InfiniteDeltaR,
+					Optimizer: po,
+					Budget:    120,
+					Episodes:  20,
+					Horizon:   120,
+					Seed:      int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("ppo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := ppo.Train(params, ppo.Config{
+				DeltaR:            recovery.InfiniteDeltaR,
+				Iterations:        5,
+				StepsPerIteration: 256,
+				Horizon:           120,
+				Hidden:            16,
+				Layers:            2,
+				Seed:              int64(i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ip", func(b *testing.B) {
+		model, err := params.POMDP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			ip := &pomdp.IncrementalPruning{MaxVectors: 16, TimeBudget: 5 * time.Second}
+			if _, _, err := ip.SolveInfinite(model, 1e-3, 6); err != nil && err != pomdp.ErrNotConverged {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig08DPHorizon measures how the exact solve time grows with
+// Delta_R (the Fig 8 trend: IP/DP cost increases with the horizon).
+func BenchmarkFig08DPHorizon(b *testing.B) {
+	params := nodemodel.DefaultParams()
+	for _, deltaR := range []int{5, 15, 25} {
+		deltaR := deltaR
+		b.Run(fmt.Sprintf("deltaR=%d", deltaR), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := recovery.SolveDP(params, recovery.DPConfig{DeltaR: deltaR, GridSize: 300}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig09LPSolveTime solves Problem 2's LP for growing state spaces
+// (Fig 9 sweeps smax to 2048; the default bench covers the polynomial
+// growth region, cmd/tolerance-bench -full goes further).
+func BenchmarkFig09LPSolveTime(b *testing.B) {
+	for _, smax := range []int{4, 8, 16, 32, 64, 128} {
+		smax := smax
+		b.Run(fmt.Sprintf("smax=%d", smax), func(b *testing.B) {
+			model, err := cmdp.NewBinomialModel(smax, 3, 0.9, 0.95, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cmdp.Solve(model); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10MinBFTThroughput measures request throughput of the MinBFT
+// implementation for growing replica groups (Fig 10).
+func BenchmarkFig10MinBFTThroughput(b *testing.B) {
+	key := []byte("bench-minbft-key-32-bytes-long!!")
+	for _, n := range []int{3, 5, 7, 10} {
+		n := n
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			net, err := transport.NewSimNetwork(transport.Conditions{}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer net.Close()
+			verifier, _ := usig.NewHMACVerifier(key)
+			registry := replica.NewRegistry()
+			members := make([]string, n)
+			for i := range members {
+				members[i] = fmt.Sprintf("r%d", i)
+			}
+			var replicas []*minbft.Replica
+			for _, id := range members {
+				ep, _ := net.Endpoint(id)
+				u, _ := usig.NewHMAC(id, key)
+				r, err := minbft.NewReplica(minbft.Config{
+					ID: id, Members: members, Endpoint: ep, USIG: u,
+					Verifier: verifier, Registry: registry,
+					Store:          replica.NewKVStore(),
+					RequestTimeout: 2 * time.Second,
+					TickInterval:   2 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				replicas = append(replicas, r)
+			}
+			defer func() {
+				for _, r := range replicas {
+					r.Stop()
+				}
+			}()
+			signer, _ := replica.NewSigner("bench-client")
+			_ = registry.Register("bench-client", signer.PublicKey())
+			ep, _ := net.Endpoint("bench-client")
+			f := (n - 1) / 2
+			client, err := minbft.NewClient(signer, ep, members, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Submit(replica.Op{
+					Type: replica.OpWrite, Key: "k", Value: "v",
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkFig11EmpiricalZ fits the observation models of all ten
+// containers with the paper's M = 25,000 samples (Fig 11).
+func BenchmarkFig11EmpiricalZ(b *testing.B) {
+	catalog, err := emulation.Catalog()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range catalog {
+			if _, err := ids.Fit(rng, c.Profile, 25000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable7Evaluation runs one Table 7 cell (N1 = 6, Delta_R = 15)
+// per strategy on the emulated testbed.
+func BenchmarkTable7Evaluation(b *testing.B) {
+	cfg := CompareConfig{N1: 6, DeltaR: 15, Steps: 300, Seeds: []int64{1, 2, 3}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := Compare(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("%d strategies", len(rows))
+		}
+	}
+}
+
+// BenchmarkFig13Strategies computes the two strategy illustrations of
+// Fig 13: the replication rule pi(a=1|s) and the recovery threshold.
+func BenchmarkFig13Strategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := SolveReplicationStrategy(13, 1, 0.9, 0.97)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := SolveRecoveryStrategy(DefaultNodeModel(), InfiniteDeltaR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.AddProbability) != 14 || len(rec.Thresholds) != 1 {
+			b.Fatal("unexpected strategy shapes")
+		}
+	}
+}
+
+// BenchmarkFig14DetectionSensitivity sweeps detector quality and resolves
+// Problem 1 (Fig 14 left panel).
+func BenchmarkFig14DetectionSensitivity(b *testing.B) {
+	seps := []float64{0.3, 0.5, 0.7, 1.0}
+	for i := 0; i < b.N; i++ {
+		pts, err := DetectorSensitivity(DefaultNodeModel(), seps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(seps) {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkFig15Thresholds computes the within-window threshold curve
+// alpha*_t for Delta_R = 100 (Fig 15b).
+func BenchmarkFig15Thresholds(b *testing.B) {
+	params := nodemodel.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		sol, err := recovery.SolveDP(params, recovery.DPConfig{DeltaR: 100, GridSize: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sol.Thresholds) != 99 {
+			b.Fatal("wrong threshold count")
+		}
+	}
+}
+
+// BenchmarkFig16TransitionFn tabulates fS rows (Fig 16).
+func BenchmarkFig16TransitionFn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		model, err := cmdp.NewBinomialModel(25, 3, 0.9, 0.9, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = model.FS[0][10]
+	}
+}
+
+// BenchmarkFig18MetricDivergence ranks the candidate detection metrics by
+// empirical KL divergence (Fig 18 / App. H).
+func BenchmarkFig18MetricDivergence(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	profiles := ids.DefaultMetricProfiles()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranks, err := ids.RankMetrics(rng, profiles, 25000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ranks[0].Metric != ids.MetricAlerts {
+			b.Fatal("alerts not top-ranked")
+		}
+	}
+}
+
+// BenchmarkBeliefUpdate measures the cost of one Appendix A belief update,
+// the hot operation of every node controller.
+func BenchmarkBeliefUpdate(b *testing.B) {
+	p := nodemodel.DefaultParams()
+	belief := 0.3
+	for i := 0; i < b.N; i++ {
+		belief = p.UpdateBelief(belief, nodemodel.Wait, i%11)
+	}
+	_ = belief
+}
+
+// BenchmarkKLDivergence measures the Fig 18 divergence computation.
+func BenchmarkKLDivergence(b *testing.B) {
+	h := dist.MustBetaBinomial(31, 0.7, 3).Categorical()
+	c := dist.MustBetaBinomial(31, 2.2, 1.2).Categorical()
+	for i := 0; i < b.N; i++ {
+		_ = dist.KLSmoothed(h, c, 1e-9)
+	}
+}

@@ -1,0 +1,106 @@
+// tolerance-sim runs one emulated testbed scenario (§VIII-A) and prints the
+// evaluation metrics.
+//
+//	tolerance-sim -n1 6 -deltar 15 -steps 1000 -policy tolerance
+//	tolerance-sim -n1 3 -policy no-recovery -seeds 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"tolerance/internal/baselines"
+	"tolerance/internal/cmdp"
+	"tolerance/internal/emulation"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tolerance-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n1 := flag.Int("n1", 6, "initial number of nodes")
+	deltaR := flag.Int("deltar", 15, "BTR bound (0 = infinity)")
+	steps := flag.Int("steps", 1000, "time steps per run")
+	seeds := flag.Int("seeds", 5, "number of evaluation seeds")
+	policyName := flag.String("policy", "tolerance",
+		"tolerance | no-recovery | periodic | periodic-adaptive")
+	pa := flag.Float64("pa", 0.1, "per-step compromise probability")
+	epsa := flag.Float64("epsa", 0.9, "availability bound for replication")
+	flag.Parse()
+
+	params := nodemodel.DefaultParams()
+	params.PA = *pa
+
+	f := (*n1 - 1) / 2
+	if f > 2 {
+		f = 2
+	}
+	if f < 1 {
+		f = 1
+	}
+
+	var policy baselines.Policy
+	switch *policyName {
+	case "tolerance":
+		dp, err := recovery.SolveDP(params, recovery.DPConfig{DeltaR: *deltaR})
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(17))
+		q, err := cmdp.EstimateHealthyProb(rng, params, dp.Strategy(*deltaR), 100, 200, *deltaR)
+		if err != nil {
+			return err
+		}
+		model, err := cmdp.NewBinomialModel(13, f, *epsa, q, 0)
+		if err != nil {
+			return err
+		}
+		sol, err := cmdp.Solve(model)
+		if err != nil {
+			return err
+		}
+		policy, err = baselines.NewTolerance(dp.Strategy(*deltaR), sol)
+		if err != nil {
+			return err
+		}
+	case "no-recovery":
+		policy = baselines.NoRecovery{}
+	case "periodic":
+		policy = baselines.Periodic{}
+	case "periodic-adaptive":
+		policy = baselines.PeriodicAdaptive{TargetN: *n1}
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+	agg, err := emulation.RunSeeds(emulation.Scenario{
+		N1:     *n1,
+		F:      f,
+		DeltaR: *deltaR,
+		Steps:  *steps,
+		Params: params,
+		Policy: policy,
+	}, seedList)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy=%s N1=%d f=%d deltaR=%d steps=%d seeds=%d\n",
+		policy.Name(), *n1, f, *deltaR, *steps, *seeds)
+	fmt.Printf("T(A) = %.3f ± %.3f\n", agg.Availability.Mean, agg.Availability.CI)
+	fmt.Printf("T(R) = %.2f ± %.2f\n", agg.TimeToRecovery.Mean, agg.TimeToRecovery.CI)
+	fmt.Printf("F(R) = %.4f ± %.4f\n", agg.RecoveryFrequency.Mean, agg.RecoveryFrequency.CI)
+	fmt.Printf("avg nodes = %.2f\n", agg.AvgNodes.Mean)
+	return nil
+}

@@ -1,0 +1,77 @@
+// tolerance-solve computes the two optimal control strategies of the paper
+// from command-line parameters.
+//
+//	tolerance-solve -problem recovery -pa 0.1 -eta 2 -deltar 15
+//	tolerance-solve -problem recovery -method cem -budget 500
+//	tolerance-solve -problem replication -smax 13 -f 2 -epsa 0.9 -q 0.95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tolerance"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tolerance-solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	problem := flag.String("problem", "recovery", "recovery | replication")
+	pa := flag.Float64("pa", 0.1, "per-step compromise probability pA")
+	pc1 := flag.Float64("pc1", 1e-5, "healthy crash probability pC1")
+	pc2 := flag.Float64("pc2", 1e-3, "compromised crash probability pC2")
+	pu := flag.Float64("pu", 0.02, "software update probability pU")
+	eta := flag.Float64("eta", 2, "cost weight eta")
+	deltaR := flag.Int("deltar", 0, "BTR bound Delta_R (0 = infinity)")
+	method := flag.String("method", "dp", "dp | cem | de | bo | spsa (Alg 1 optimizers)")
+	budget := flag.Int("budget", 400, "objective evaluations for Alg 1")
+	seed := flag.Int64("seed", 1, "random seed")
+	smax := flag.Int("smax", 13, "maximum system size (Problem 2)")
+	f := flag.Int("f", 2, "tolerance threshold (Problem 2)")
+	epsa := flag.Float64("epsa", 0.9, "availability bound epsilon_A (Problem 2)")
+	q := flag.Float64("q", 0.95, "per-step node health probability (Problem 2)")
+	flag.Parse()
+
+	switch *problem {
+	case "recovery":
+		model := tolerance.NodeModel{PA: *pa, PC1: *pc1, PC2: *pc2, PU: *pu, Eta: *eta}
+		var (
+			s   *tolerance.RecoveryStrategy
+			err error
+		)
+		if *method == "dp" {
+			s, err = tolerance.SolveRecoveryStrategy(model, *deltaR)
+		} else {
+			s, err = tolerance.LearnRecoveryStrategy(model, *deltaR, *method, *budget, *seed)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("problem 1 (optimal intrusion recovery), method=%s\n", *method)
+		fmt.Printf("expected cost J = %.4f\n", s.ExpectedCost)
+		fmt.Printf("thresholds (per BTR window position):\n")
+		for k, th := range s.Thresholds {
+			fmt.Printf("  alpha*_%d = %.4f\n", k+1, th)
+		}
+	case "replication":
+		s, err := tolerance.SolveReplicationStrategy(*smax, *f, *epsa, *q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("problem 2 (optimal replication factor)\n")
+		fmt.Printf("expected nodes J = %.3f, availability = %.4f\n", s.ExpectedNodes, s.Availability)
+		fmt.Printf("pi(add | s):\n")
+		for state, p := range s.AddProbability {
+			fmt.Printf("  s=%2d: %.4f\n", state, p)
+		}
+	default:
+		return fmt.Errorf("unknown problem %q", *problem)
+	}
+	return nil
+}

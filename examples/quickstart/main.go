@@ -1,0 +1,61 @@
+// Quickstart: solve both TOLERANCE control problems and evaluate the
+// resulting strategies against the baselines on the emulated testbed.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tolerance"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	model := tolerance.DefaultNodeModel()
+
+	// Problem 1: when should a node recover?
+	rec, err := tolerance.SolveRecoveryStrategy(model, tolerance.InfiniteDeltaR)
+	if err != nil {
+		return fmt.Errorf("solve recovery: %w", err)
+	}
+	fmt.Printf("Problem 1 (optimal intrusion recovery)\n")
+	fmt.Printf("  recovery threshold alpha* = %.3f\n", rec.Thresholds[0])
+	fmt.Printf("  optimal average cost  J*  = %.4f\n\n", rec.ExpectedCost)
+
+	// Problem 2: when should the system grow?
+	rep, err := tolerance.SolveReplicationStrategy(13, 1, 0.9, 0.97)
+	if err != nil {
+		return fmt.Errorf("solve replication: %w", err)
+	}
+	fmt.Printf("Problem 2 (optimal replication factor, smax=13, f=1, epsA=0.9)\n")
+	fmt.Printf("  expected nodes = %.2f, availability = %.3f\n", rep.ExpectedNodes, rep.Availability)
+	fmt.Printf("  pi(add | s):")
+	for s, p := range rep.AddProbability {
+		if p > 0.001 {
+			fmt.Printf(" s=%d:%.2f", s, p)
+		}
+	}
+	fmt.Printf("\n\n")
+
+	// Evaluate TOLERANCE against the baselines (one small Table 7 cell).
+	fmt.Printf("Evaluation (N1=6, DeltaR=15, 400 steps, 3 seeds)\n")
+	rows, err := tolerance.Compare(tolerance.CompareConfig{
+		N1: 6, DeltaR: 15, Steps: 400, Seeds: []int64{1, 2, 3},
+	})
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	fmt.Printf("  %-18s %8s %10s %8s\n", "strategy", "T(A)", "T(R)", "F(R)")
+	for _, r := range rows {
+		fmt.Printf("  %-18s %8.3f %10.2f %8.4f\n",
+			r.Strategy, r.Availability, r.TimeToRecovery, r.RecoveryFrequency)
+	}
+	return nil
+}

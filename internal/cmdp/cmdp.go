@@ -1,0 +1,288 @@
+// Package cmdp implements Problem 2 of the paper (optimal replication
+// factor): the constrained MDP over the expected number of healthy nodes
+// (eq. 8-10), the occupancy-measure linear program of Algorithm 2 (eq. 14),
+// the assumption checks of Theorem 2, and the failure-time analytics of
+// Fig 6 (MTTF and reliability curves, Appendix F).
+package cmdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tolerance/internal/dist"
+	"tolerance/internal/markov"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+)
+
+// ErrInvalidModel is returned when a CMDP model fails validation.
+var ErrInvalidModel = errors.New("cmdp: invalid model")
+
+// ErrInfeasible is returned when the availability constraint cannot be met
+// (assumption A of Theorem 2 violated).
+var ErrInfeasible = errors.New("cmdp: availability constraint infeasible")
+
+// NumActions is the size of the action space A_S = {0, 1} (add a node or
+// not, eq. 8).
+const NumActions = 2
+
+// Model is the CMDP of Problem 2. States s in {0, ..., SMax} count healthy
+// nodes; action 1 adds a node.
+type Model struct {
+	// SMax is the maximum number of nodes s_max.
+	SMax int
+	// F is the tolerance threshold: service is available iff s >= F+1
+	// (eq. 9, Prop. 1).
+	F int
+	// EpsilonA is the availability lower bound (eq. 10b).
+	EpsilonA float64
+	// FS is the transition function indexed [action][s][s'] (eq. 8).
+	FS [][][]float64
+}
+
+// Validate checks dimensions and stochasticity.
+func (m *Model) Validate() error {
+	if m.SMax < 1 {
+		return fmt.Errorf("%w: smax = %d", ErrInvalidModel, m.SMax)
+	}
+	if m.F < 0 || m.F >= m.SMax {
+		return fmt.Errorf("%w: f = %d with smax = %d", ErrInvalidModel, m.F, m.SMax)
+	}
+	if m.EpsilonA < 0 || m.EpsilonA > 1 {
+		return fmt.Errorf("%w: epsilonA = %v", ErrInvalidModel, m.EpsilonA)
+	}
+	n := m.SMax + 1
+	if len(m.FS) != NumActions {
+		return fmt.Errorf("%w: FS has %d actions", ErrInvalidModel, len(m.FS))
+	}
+	for a := range m.FS {
+		if len(m.FS[a]) != n {
+			return fmt.Errorf("%w: FS[%d] has %d states", ErrInvalidModel, a, len(m.FS[a]))
+		}
+		for s := range m.FS[a] {
+			if len(m.FS[a][s]) != n {
+				return fmt.Errorf("%w: FS[%d][%d] has %d entries", ErrInvalidModel, a, s, len(m.FS[a][s]))
+			}
+			sum := 0.0
+			for s2, p := range m.FS[a][s] {
+				if p < 0 || math.IsNaN(p) {
+					return fmt.Errorf("%w: FS[%d][%d][%d] = %v", ErrInvalidModel, a, s, s2, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return fmt.Errorf("%w: FS[%d][%d] sums to %v", ErrInvalidModel, a, s, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// Theorem2Report records which structural assumptions of Theorem 2 a model
+// satisfies. Assumption A (feasibility) is checked by Solve; B is positivity
+// of fS; C is first-order stochastic monotonicity in the conditioning state;
+// D is tail-sum supermodularity. The paper notes (Remark after Alg. 2) that
+// Algorithm 2 is correct even when B-D fail — they are only needed for the
+// threshold-structure guarantee — and D in particular fails for binomial
+// transition kernels.
+type Theorem2Report struct {
+	// B, C, D report whether each assumption holds.
+	B, C, D bool
+	// Detail describes the first violation found per assumption.
+	Detail map[string]string
+}
+
+// AllHold reports whether every checked assumption holds.
+func (r Theorem2Report) AllHold() bool { return r.B && r.C && r.D }
+
+// CheckTheorem2Assumptions inspects assumptions B-D of Theorem 2.
+func (m *Model) CheckTheorem2Assumptions() (Theorem2Report, error) {
+	rep := Theorem2Report{B: true, C: true, D: true, Detail: map[string]string{}}
+	if err := m.Validate(); err != nil {
+		return rep, err
+	}
+	n := m.SMax + 1
+	// B: fS(s'|s,a) > 0.
+assumptionB:
+	for a := 0; a < NumActions; a++ {
+		for s := 0; s < n; s++ {
+			for s2 := 0; s2 < n; s2++ {
+				if m.FS[a][s][s2] <= 0 {
+					rep.B = false
+					rep.Detail["B"] = fmt.Sprintf("fS(%d|%d,%d) = 0", s2, s, a)
+					break assumptionB
+				}
+			}
+		}
+	}
+	// C: tail sums non-decreasing in the conditioning state.
+assumptionC:
+	for a := 0; a < NumActions; a++ {
+		for sHat := 0; sHat+1 < n; sHat++ {
+			for s := 0; s < n; s++ {
+				if m.tailSum(a, sHat+1, s)+1e-9 < m.tailSum(a, sHat, s) {
+					rep.C = false
+					rep.Detail["C"] = fmt.Sprintf("tail sum decreases: s=%d, sHat=%d, a=%d", s, sHat, a)
+					break assumptionC
+				}
+			}
+		}
+	}
+	// D: tail-sum difference between the actions increasing in the cutoff.
+assumptionD:
+	for sHat := 0; sHat < n; sHat++ {
+		prev := math.Inf(-1)
+		for s := 0; s < n; s++ {
+			diff := m.tailSum(1, sHat, s) - m.tailSum(0, sHat, s)
+			if diff+1e-9 < prev {
+				rep.D = false
+				rep.Detail["D"] = fmt.Sprintf("difference not increasing: s=%d, sHat=%d", s, sHat)
+				break assumptionD
+			}
+			prev = diff
+		}
+	}
+	return rep, nil
+}
+
+// tailSum returns sum_{s' >= s} fS(s' | sHat, a).
+func (m *Model) tailSum(a, sHat, s int) float64 {
+	t := 0.0
+	for s2 := s; s2 <= m.SMax; s2++ {
+		t += m.FS[a][sHat][s2]
+	}
+	return t
+}
+
+// NewBinomialModel builds the analytic transition model: each healthy node
+// independently remains healthy with probability q per step, and action 1
+// adds one healthy node:
+//
+//	fS(s' | s, a) = P[Binomial(s, q) = s' - a]
+//
+// clamped at the state-space boundary. A small smoothing mass eps keeps the
+// chain irreducible (assumption B of Theorem 2); eps <= 0 selects 1e-9.
+func NewBinomialModel(smax, f int, epsilonA, q, eps float64) (*Model, error) {
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("%w: q = %v", ErrInvalidModel, q)
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	n := smax + 1
+	m := &Model{SMax: smax, F: f, EpsilonA: epsilonA}
+	m.FS = make([][][]float64, NumActions)
+	for a := 0; a < NumActions; a++ {
+		m.FS[a] = make([][]float64, n)
+		for s := 0; s <= smax; s++ {
+			row := make([]float64, n)
+			for k := 0; k <= s; k++ {
+				target := k + a
+				if target > smax {
+					target = smax
+				}
+				row[target] += dist.Binomial(s, q, k)
+			}
+			// Smooth and renormalize.
+			total := 0.0
+			for i := range row {
+				row[i] += eps
+				total += row[i]
+			}
+			for i := range row {
+				row[i] /= total
+			}
+			m.FS[a][s] = row
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EstimateHealthyProb estimates q — the per-step probability that a node is
+// healthy at the next step given it is healthy now — by simulating
+// Problem 1 under the given recovery strategy (the paper's Table 8 method:
+// "fS estimated from simulations of Prob 1").
+func EstimateHealthyProb(rng *rand.Rand, p nodemodel.Params, s recovery.Strategy, episodes, horizon, deltaR int) (float64, error) {
+	m, err := recovery.Evaluate(rng, p, s, recovery.SimConfig{
+		Episodes: episodes,
+		Horizon:  horizon,
+		DeltaR:   deltaR,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// A node counts as healthy when it is alive and not compromised; the
+	// compromised fraction and the per-episode crash rate give the
+	// complement.
+	crashPerStep := m.CrashFraction / float64(horizon)
+	q := (1 - m.CompromisedFraction) * (1 - crashPerStep)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q, nil
+}
+
+// NoRecoveryChain builds the Markov chain over the healthy-node count when
+// no recoveries or additions occur: each healthy node survives a step with
+// probability q = (1-pA)(1-pC1) (Fig 6, Appendix F).
+func NoRecoveryChain(n int, q float64) (*markov.Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n = %d", ErrInvalidModel, n)
+	}
+	if q < 0 || q > 1 {
+		return nil, fmt.Errorf("%w: q = %v", ErrInvalidModel, q)
+	}
+	p := make([][]float64, n+1)
+	for s := 0; s <= n; s++ {
+		row := make([]float64, n+1)
+		for k := 0; k <= s; k++ {
+			row[k] = dist.Binomial(s, q, k)
+		}
+		// Renormalize against rounding drift.
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+		p[s] = row
+	}
+	return markov.NewChain(p)
+}
+
+// MTTF computes E[T(f)] of Fig 6a: the mean time until fewer than
+// 2f+k+1 nodes remain, starting from n1 healthy nodes with per-step node
+// survival probability q and no recoveries.
+func MTTF(n1, f, k int, q float64) (float64, error) {
+	chain, err := NoRecoveryChain(n1, q)
+	if err != nil {
+		return 0, err
+	}
+	failure := make(map[int]bool)
+	for s := 0; s < 2*f+k+1 && s <= n1; s++ {
+		failure[s] = true
+	}
+	return chain.MTTF(n1, failure)
+}
+
+// Reliability computes R(t) of Fig 6b for t = 0..horizon.
+func Reliability(n1, f, k, horizon int, q float64) ([]float64, error) {
+	chain, err := NoRecoveryChain(n1, q)
+	if err != nil {
+		return nil, err
+	}
+	failure := make(map[int]bool)
+	for s := 0; s < 2*f+k+1 && s <= n1; s++ {
+		failure[s] = true
+	}
+	return chain.Reliability(n1, failure, horizon)
+}

@@ -1,0 +1,166 @@
+package cmdp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tolerance/internal/lp"
+)
+
+// Solution is the optimal replication strategy computed by Algorithm 2.
+type Solution struct {
+	// Policy[s] is pi*(a = 1 | s), the probability of adding a node in
+	// state s (eq. 13, Fig 13a).
+	Policy []float64
+	// Occupancy is the optimal occupancy measure rho*(s, a) indexed [s][a].
+	Occupancy [][]float64
+	// AvgNodes is the objective value J (eq. 9): the stationary expected
+	// number of nodes.
+	AvgNodes float64
+	// Availability is the achieved stationary P[s >= f+1] (eq. 10b).
+	Availability float64
+}
+
+// ActionProb returns pi*(a = 1 | s), clamping s to the state space.
+func (sol *Solution) ActionProb(s int) float64 {
+	if s < 0 {
+		s = 0
+	}
+	if s >= len(sol.Policy) {
+		s = len(sol.Policy) - 1
+	}
+	return sol.Policy[s]
+}
+
+// Sample draws an action (0 or 1) for the given state.
+func (sol *Solution) Sample(rng *rand.Rand, s int) int {
+	if rng.Float64() < sol.ActionProb(s) {
+		return 1
+	}
+	return 0
+}
+
+// ThresholdStructure analyses the policy per Theorem 2: it returns whether
+// pi*(1|s) is non-increasing in s with at most one fractional state (i.e. a
+// randomized mixture of two threshold strategies), together with the largest
+// state where a node is added with positive probability.
+func (sol *Solution) ThresholdStructure() (isThresholdMixture bool, lastAddState int) {
+	const tol = 1e-6
+	lastAddState = -1
+	fractional := 0
+	prev := 1.0
+	mono := true
+	for s, p := range sol.Policy {
+		if p > tol {
+			lastAddState = s
+		}
+		if p > tol && p < 1-tol {
+			fractional++
+		}
+		if p > prev+tol {
+			mono = false
+		}
+		prev = p
+	}
+	return mono && fractional <= 1, lastAddState
+}
+
+// Solve runs Algorithm 2: it formulates the occupancy-measure LP (14) and
+// extracts the optimal randomized strategy pi*(a|s) = rho*(s,a) / sum_a
+// rho*(s,a). States never visited under rho* receive the conservative
+// default "add iff s <= f" so the returned policy is total.
+func Solve(m *Model) (*Solution, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.SMax + 1
+	numVars := n * NumActions
+	idx := func(s, a int) int { return s*NumActions + a }
+
+	prob, err := lp.NewProblem(numVars)
+	if err != nil {
+		return nil, err
+	}
+	// (14a): minimize sum_s sum_a s * rho(s, a).
+	obj := make([]float64, numVars)
+	for s := 0; s < n; s++ {
+		for a := 0; a < NumActions; a++ {
+			obj[idx(s, a)] = float64(s)
+		}
+	}
+	if err := prob.SetObjective(obj); err != nil {
+		return nil, err
+	}
+	// (14c): normalization.
+	one := make([]float64, numVars)
+	for i := range one {
+		one[i] = 1
+	}
+	if err := prob.AddEq(one, 1); err != nil {
+		return nil, err
+	}
+	// (14d): stationarity. One row per state s (skip s = 0: the rows sum to
+	// the normalization constraint, so one is redundant).
+	for s := 1; s < n; s++ {
+		row := make([]float64, numVars)
+		for a := 0; a < NumActions; a++ {
+			row[idx(s, a)] += 1
+		}
+		for s2 := 0; s2 < n; s2++ {
+			for a := 0; a < NumActions; a++ {
+				row[idx(s2, a)] -= m.FS[a][s2][s]
+			}
+		}
+		if err := prob.AddEq(row, 0); err != nil {
+			return nil, err
+		}
+	}
+	// (14e): availability.
+	avail := make([]float64, numVars)
+	for s := m.F + 1; s < n; s++ {
+		for a := 0; a < NumActions; a++ {
+			avail[idx(s, a)] = 1
+		}
+	}
+	if err := prob.AddGe(avail, m.EpsilonA); err != nil {
+		return nil, err
+	}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		if errors.Is(err, lp.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: epsilonA = %v with f = %d, smax = %d",
+				ErrInfeasible, m.EpsilonA, m.F, m.SMax)
+		}
+		return nil, fmt.Errorf("cmdp: algorithm 2: %w", err)
+	}
+
+	out := &Solution{
+		Policy:    make([]float64, n),
+		Occupancy: make([][]float64, n),
+	}
+	availability := 0.0
+	avgNodes := 0.0
+	for s := 0; s < n; s++ {
+		out.Occupancy[s] = []float64{sol.X[idx(s, 0)], sol.X[idx(s, 1)]}
+		total := out.Occupancy[s][0] + out.Occupancy[s][1]
+		// States with numerically negligible occupancy (only the smoothing
+		// mass visits them) take the defensive default rather than a noise
+		// ratio.
+		if total > 1e-7 {
+			out.Policy[s] = out.Occupancy[s][1] / total
+		} else if s <= m.F {
+			out.Policy[s] = 1 // unvisited low state: grow defensively
+		} else {
+			out.Policy[s] = 0
+		}
+		avgNodes += float64(s) * total
+		if s >= m.F+1 {
+			availability += total
+		}
+	}
+	out.AvgNodes = avgNodes
+	out.Availability = availability
+	return out, nil
+}

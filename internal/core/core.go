@@ -1,0 +1,196 @@
+// Package core implements the TOLERANCE control architecture (§IV, Fig 1-2):
+// local node controllers that estimate the compromise belief from IDS alerts
+// and decide when to recover (Problem 1), and a global system controller
+// that collects belief states, evicts crashed nodes, and manages the
+// replication factor (Problem 2). The two levels communicate exactly as in
+// Fig 1: node controllers transmit beliefs upward; the system controller
+// issues evict/add commands downward.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tolerance/internal/cmdp"
+	"tolerance/internal/ids"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+)
+
+// Errors returned by the controllers.
+var (
+	ErrBadController = errors.New("core: bad controller config")
+)
+
+// NodeController is the local controller of one node (Fig 2): it maintains
+// the belief state b_{i,t} (eq. 4) from IDS observations and applies a
+// threshold recovery strategy with the BTR constraint (eq. 6b).
+type NodeController struct {
+	params   nodemodel.Params
+	fit      *ids.FittedZ
+	strategy recovery.Strategy
+	deltaR   int
+	phase    int
+
+	belief     float64
+	lastAction nodemodel.Action
+	step       int
+}
+
+// NodeControllerConfig configures a node controller.
+type NodeControllerConfig struct {
+	// Params is the node model (attack/crash/update probabilities, eta).
+	Params nodemodel.Params
+	// Fit is the estimated observation model Ẑ; nil uses the true model
+	// from Params.
+	Fit *ids.FittedZ
+	// Strategy decides recovery from (belief, window position).
+	Strategy recovery.Strategy
+	// DeltaR is the BTR bound (recovery.InfiniteDeltaR disables it).
+	DeltaR int
+	// Phase staggers this node's forced recoveries within the calendar.
+	Phase int
+}
+
+// NewNodeController validates the configuration and initializes the belief
+// to the prior p_A (eq. 6a).
+func NewNodeController(cfg NodeControllerConfig) (*NodeController, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("%w: nil strategy", ErrBadController)
+	}
+	if cfg.DeltaR < 0 {
+		return nil, fmt.Errorf("%w: deltaR = %d", ErrBadController, cfg.DeltaR)
+	}
+	fit := cfg.Fit
+	if fit == nil {
+		fit = &ids.FittedZ{
+			Healthy:     cfg.Params.ZHealthy,
+			Compromised: cfg.Params.ZCompromised,
+		}
+	}
+	return &NodeController{
+		params:   cfg.Params,
+		fit:      fit,
+		strategy: cfg.Strategy,
+		deltaR:   cfg.DeltaR,
+		phase:    cfg.Phase,
+		belief:   cfg.Params.PA,
+	}, nil
+}
+
+// Belief returns the current compromise belief b_{i,t}.
+func (nc *NodeController) Belief() float64 { return nc.belief }
+
+// Step consumes one observation (the priority-weighted alert count of the
+// last interval) and returns the controller's action. Forced calendar
+// recoveries (eq. 6b) override the strategy.
+func (nc *NodeController) Step(obs int) nodemodel.Action {
+	nc.step++
+	nc.belief = nc.updateBelief(nc.belief, nc.lastAction, obs)
+
+	windowPos := nc.step + nc.phase
+	forced := false
+	if nc.deltaR != recovery.InfiniteDeltaR {
+		windowPos = (nc.step + nc.phase) % nc.deltaR
+		forced = windowPos == 0
+	}
+	var action nodemodel.Action
+	if forced {
+		action = nodemodel.Recover
+	} else {
+		action = nc.strategy.Action(nc.belief, windowPos)
+	}
+	nc.lastAction = action
+	if action == nodemodel.Recover {
+		nc.belief = nc.params.PA // post-recovery prior (eq. 2f, 2h, 2i)
+	}
+	return action
+}
+
+// NotifyRecovered resets the controller after an externally triggered
+// recovery (e.g. the emulation replaced the container).
+func (nc *NodeController) NotifyRecovered() {
+	nc.belief = nc.params.PA
+	nc.lastAction = nodemodel.Recover
+}
+
+// updateBelief is the Appendix A recursion with the fitted model.
+func (nc *NodeController) updateBelief(b float64, a nodemodel.Action, obs int) float64 {
+	pred := nc.params.PredictBelief(b, a)
+	zc := nc.fit.Compromised.Prob(obs)
+	zh := nc.fit.Healthy.Prob(obs)
+	num := zc * pred
+	den := num + zh*(1-pred)
+	if den <= 0 {
+		return b
+	}
+	return math.Min(1, math.Max(0, num/den))
+}
+
+// SystemAction is the system controller's decision for one step (Fig 1).
+type SystemAction struct {
+	// Evict lists node IDs that failed to report and must be evicted.
+	Evict []string
+	// Add reports whether a new node should be started (a_t = 1, eq. 8).
+	Add bool
+	// HealthyEstimate is s_t = floor(sum_i (1 - b_i)).
+	HealthyEstimate int
+}
+
+// SystemController is the global controller (Fig 1): it receives belief
+// states, treats missing reports as crashes, and samples the replication
+// strategy computed by Algorithm 2.
+type SystemController struct {
+	policy *cmdp.Solution
+	smax   int
+	rng    *rand.Rand
+}
+
+// NewSystemController builds the controller from the Problem 2 solution.
+func NewSystemController(policy *cmdp.Solution, smax int, seed int64) (*SystemController, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("%w: nil replication policy", ErrBadController)
+	}
+	if smax < 1 {
+		return nil, fmt.Errorf("%w: smax = %d", ErrBadController, smax)
+	}
+	return &SystemController{
+		policy: policy,
+		smax:   smax,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Decide consumes the per-node belief reports (nil entry value = node
+// failed to report and is considered crashed, §V-B) and returns the global
+// action.
+func (sc *SystemController) Decide(reports map[string]*float64) SystemAction {
+	var action SystemAction
+	healthy := 0.0
+	alive := 0
+	for id, b := range reports {
+		if b == nil {
+			action.Evict = append(action.Evict, id)
+			continue
+		}
+		alive++
+		healthy += 1 - *b
+	}
+	est := int(math.Floor(healthy))
+	if est > sc.smax {
+		est = sc.smax
+	}
+	if est < 0 {
+		est = 0
+	}
+	action.HealthyEstimate = est
+	if alive < sc.smax {
+		action.Add = sc.policy.Sample(sc.rng, est) == 1
+	}
+	return action
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tolerance/internal/cmdp"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+	"tolerance/internal/replica"
+)
+
+func testStrategy() *recovery.ThresholdStrategy {
+	return &recovery.ThresholdStrategy{Thresholds: []float64{0.3}, DeltaR: recovery.InfiniteDeltaR}
+}
+
+func TestNodeControllerValidation(t *testing.T) {
+	if _, err := NewNodeController(NodeControllerConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	p := nodemodel.DefaultParams()
+	if _, err := NewNodeController(NodeControllerConfig{Params: p}); err == nil {
+		t.Error("nil strategy should fail")
+	}
+	if _, err := NewNodeController(NodeControllerConfig{Params: p, Strategy: testStrategy(), DeltaR: -1}); err == nil {
+		t.Error("negative deltaR should fail")
+	}
+}
+
+func TestNodeControllerDetectsIntrusion(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	nc, err := NewNodeController(NodeControllerConfig{
+		Params: p, Strategy: testStrategy(), DeltaR: recovery.InfiniteDeltaR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Feed healthy observations: the controller should keep waiting.
+	recoveries := 0
+	for i := 0; i < 30; i++ {
+		if nc.Step(p.ZHealthy.Sample(rng)) == nodemodel.Recover {
+			recoveries++
+		}
+	}
+	if recoveries > 3 {
+		t.Errorf("%d spurious recoveries on healthy traffic", recoveries)
+	}
+	// Now a sustained intrusion: recovery within a handful of steps.
+	detected := -1
+	for i := 0; i < 20; i++ {
+		if nc.Step(p.ZCompromised.Sample(rng)) == nodemodel.Recover {
+			detected = i
+			break
+		}
+	}
+	if detected < 0 {
+		t.Fatal("intrusion never detected")
+	}
+	if detected > 15 {
+		t.Errorf("detection took %d steps", detected)
+	}
+	// Post-recovery belief resets to the prior.
+	if nc.Belief() != p.PA {
+		t.Errorf("post-recovery belief = %v, want %v", nc.Belief(), p.PA)
+	}
+}
+
+func TestNodeControllerForcedCalendarRecovery(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	nc, err := NewNodeController(NodeControllerConfig{
+		Params: p, Strategy: recovery.NeverRecover{}, DeltaR: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	recoveries := 0
+	for i := 0; i < 25; i++ {
+		if nc.Step(p.ZHealthy.Sample(rng)) == nodemodel.Recover {
+			recoveries++
+		}
+	}
+	if recoveries != 5 {
+		t.Errorf("forced recoveries = %d in 25 steps with deltaR=5, want 5", recoveries)
+	}
+}
+
+func TestSystemControllerDecide(t *testing.T) {
+	model, err := cmdp.NewBinomialModel(13, 1, 0.95, 0.95, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := cmdp.Solve(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewSystemController(sol, 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := 0.05, 0.9
+	var missing *float64
+	action := sc.Decide(map[string]*float64{
+		"n0": &b1, "n1": &b2, "n2": missing,
+	})
+	if len(action.Evict) != 1 || action.Evict[0] != "n2" {
+		t.Errorf("evict = %v, want [n2]", action.Evict)
+	}
+	// floor((1-0.05) + (1-0.9)) = floor(1.05) = 1.
+	if action.HealthyEstimate != 1 {
+		t.Errorf("healthy estimate = %d, want 1", action.HealthyEstimate)
+	}
+	// In state 1 (<= f) the strategy must grow.
+	if !action.Add {
+		t.Error("controller should add at s=1 with f=1")
+	}
+}
+
+func TestSystemControllerValidation(t *testing.T) {
+	if _, err := NewSystemController(nil, 13, 1); err == nil {
+		t.Error("nil policy should fail")
+	}
+	model, _ := cmdp.NewBinomialModel(5, 1, 0.9, 0.9, 0)
+	sol, _ := cmdp.Solve(model)
+	if _, err := NewSystemController(sol, 0, 1); err == nil {
+		t.Error("smax = 0 should fail")
+	}
+}
+
+// TestLiveClusterEndToEnd runs the full stack: MinBFT + attacker + node
+// controllers + system controller, with a client checking service
+// continuity — the §VII proof-of-concept in miniature.
+func TestLiveClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	params := nodemodel.DefaultParams()
+	params.PA = 0.2 // aggressive attacker to exercise recovery quickly
+
+	model, err := cmdp.NewBinomialModel(7, 1, 0.9, 0.95, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSol, err := cmdp.Solve(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysCtrl, err := NewSystemController(repSol, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := NewLiveCluster(LiveConfig{
+		N1:          4,
+		K:           1,
+		SMax:        7,
+		Params:      params,
+		Recovery:    &recovery.ThresholdStrategy{Thresholds: []float64{0.5}, DeltaR: recovery.InfiniteDeltaR},
+		Replication: sysCtrl,
+		DeltaR:      recovery.InfiniteDeltaR,
+		Seed:        3,
+		Loss:        0.0005, // the paper's 0.05% loss
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	cl, err := lc.Client("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the cluster: alternate control steps and service requests.
+	for step := 0; step < 25; step++ {
+		if _, err := lc.Step(); err != nil {
+			t.Fatalf("control step %d: %v", step, err)
+		}
+		if step%5 == 4 {
+			cl.UpdateMembership(lc.Members(), (len(lc.Members())-1-1)/2)
+			if _, err := cl.Submit(replica.Op{
+				Type: replica.OpWrite, Key: "k", Value: "v",
+			}); err != nil {
+				t.Fatalf("service request at step %d: %v", step, err)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lc.Stats.Intrusions == 0 {
+		t.Error("no intrusions occurred with pA = 0.2 over 25 steps")
+	}
+	if lc.Stats.Recoveries == 0 {
+		t.Error("controllers never recovered a node")
+	}
+	t.Logf("live cluster stats: %+v, members %v", lc.Stats, lc.Members())
+}
+
+func TestLiveClusterValidation(t *testing.T) {
+	if _, err := NewLiveCluster(LiveConfig{N1: 1}); err == nil {
+		t.Error("N1 = 1 should fail")
+	}
+	if _, err := NewLiveCluster(LiveConfig{N1: 3}); err == nil {
+		t.Error("missing strategies should fail")
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tolerance/internal/attacker"
+	"tolerance/internal/ids"
+	"tolerance/internal/minbft"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+	"tolerance/internal/replica"
+	"tolerance/internal/transport"
+	"tolerance/internal/usig"
+)
+
+// LiveCluster runs the full TOLERANCE stack end-to-end: a MinBFT replica
+// group over a simulated network, an attacker executing Table 6 campaigns,
+// node controllers consuming simulated IDS alerts, and a system controller
+// issuing evict/add reconfigurations through consensus. It is the
+// proof-of-concept deployment of §VII in-process.
+type LiveCluster struct {
+	cfg LiveConfig
+	rng *rand.Rand
+
+	network  *transport.SimNetwork
+	verifier *usig.Verifier
+	registry *replica.Registry
+	admin    *minbft.Client
+
+	nodes      map[string]*liveNode
+	sysCtrl    *SystemController
+	nextNodeID int
+	step       int
+
+	// Stats accumulates outcome counters.
+	Stats LiveStats
+}
+
+// LiveStats counts cluster events.
+type LiveStats struct {
+	Intrusions  int
+	Recoveries  int
+	Evictions   int
+	Additions   int
+	ViewChanges uint64
+}
+
+type liveNode struct {
+	id         string
+	replica    *minbft.Replica
+	controller *NodeController
+	profile    ids.Profile
+	compromise *attacker.Intrusion
+	boost      int
+	crashed    bool
+}
+
+// LiveConfig configures a live cluster.
+type LiveConfig struct {
+	// N1 is the initial replica count.
+	N1 int
+	// K is the parallel-recovery allowance (Prop. 1).
+	K int
+	// SMax caps the replication factor.
+	SMax int
+	// Params is the node model used by the controllers.
+	Params nodemodel.Params
+	// Recovery is the Problem 1 strategy for node controllers.
+	Recovery recovery.Strategy
+	// Replication is the Problem 2 solution for the system controller.
+	Replication *SystemController
+	// DeltaR is the BTR bound.
+	DeltaR int
+	// Seed drives all randomness.
+	Seed int64
+	// Loss is the simulated packet-loss probability (§VIII-A: 0.05%).
+	Loss float64
+}
+
+var liveKey = []byte("tolerance-live-cluster-key-32-b!")
+
+// NewLiveCluster boots the replica group and its controllers.
+func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
+	if cfg.N1 < 2 {
+		return nil, fmt.Errorf("%w: N1 = %d", ErrBadController, cfg.N1)
+	}
+	if cfg.SMax == 0 {
+		cfg.SMax = 13
+	}
+	if cfg.Recovery == nil || cfg.Replication == nil {
+		return nil, fmt.Errorf("%w: missing strategies", ErrBadController)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	network, err := transport.NewSimNetwork(transport.Conditions{Loss: cfg.Loss}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	verifier, err := usig.NewHMACVerifier(liveKey)
+	if err != nil {
+		return nil, err
+	}
+	lc := &LiveCluster{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		network:  network,
+		verifier: verifier,
+		registry: replica.NewRegistry(),
+		nodes:    make(map[string]*liveNode),
+		sysCtrl:  cfg.Replication,
+	}
+	members := make([]string, cfg.N1)
+	for i := 0; i < cfg.N1; i++ {
+		members[i] = fmt.Sprintf("node%d", i)
+	}
+	lc.nextNodeID = cfg.N1
+	catalog, err := catalogProfiles()
+	if err != nil {
+		network.Close()
+		return nil, err
+	}
+	for i, id := range members {
+		if err := lc.startNode(id, members, catalog, i); err != nil {
+			lc.Close()
+			return nil, err
+		}
+	}
+	signer, err := replica.NewSigner("system-controller")
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	if err := lc.registry.Register(signer.ClientID(), signer.PublicKey()); err != nil {
+		lc.Close()
+		return nil, err
+	}
+	ep, err := network.Endpoint(signer.ClientID())
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	f := (cfg.N1 - 1 - cfg.K) / 2
+	if f < 0 {
+		f = 0
+	}
+	admin, err := minbft.NewClient(signer, ep, members, f)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	admin.Timeout = 5 * time.Second
+	lc.admin = admin
+	return lc, nil
+}
+
+// catalogProfiles builds the Table 4 alert profiles without importing the
+// emulation package (avoiding a dependency cycle).
+func catalogProfiles() ([]ids.Profile, error) {
+	shapes := [][4]float64{
+		{0.8, 5, 3.2, 1.1}, {0.8, 5.5, 3.0, 1.2}, {0.8, 5.5, 3.0, 1.1},
+		{0.7, 6, 2.2, 1.6}, {0.7, 6, 2.4, 1.5}, {0.9, 5, 2.0, 1.7},
+		{0.7, 6, 2.3, 1.5}, {0.7, 6, 2.3, 1.6}, {0.9, 5, 2.8, 1.2},
+		{0.9, 5, 2.8, 1.3},
+	}
+	out := make([]ids.Profile, 0, len(shapes))
+	for i, s := range shapes {
+		p, err := ids.NewBetaBinomialProfile(fmt.Sprintf("replica-%d", i+1), s[0], s[1], s[2], s[3])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// startNode boots one replica with its controller.
+func (lc *LiveCluster) startNode(id string, members []string, catalog []ids.Profile, phase int) error {
+	ep, err := lc.network.Endpoint(id)
+	if err != nil {
+		return err
+	}
+	u, err := usig.NewHMAC(id, liveKey)
+	if err != nil {
+		return err
+	}
+	rep, err := minbft.NewReplica(minbft.Config{
+		ID:             id,
+		Members:        members,
+		K:              lc.cfg.K,
+		Endpoint:       ep,
+		USIG:           u,
+		Verifier:       lc.verifier,
+		Registry:       lc.registry,
+		Store:          replica.NewKVStore(),
+		RequestTimeout: 300 * time.Millisecond,
+		TickInterval:   5 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	profile := catalog[lc.rng.Intn(len(catalog))]
+	fit, err := ids.Fit(lc.rng, profile, 5000)
+	if err != nil {
+		rep.Stop()
+		return err
+	}
+	ctrl, err := NewNodeController(NodeControllerConfig{
+		Params:   lc.cfg.Params,
+		Fit:      fit,
+		Strategy: lc.cfg.Recovery,
+		DeltaR:   lc.cfg.DeltaR,
+		Phase:    phase,
+	})
+	if err != nil {
+		rep.Stop()
+		return err
+	}
+	lc.nodes[id] = &liveNode{
+		id:         id,
+		replica:    rep,
+		controller: ctrl,
+		profile:    profile,
+	}
+	return nil
+}
+
+// Client creates a service client attached to the cluster.
+func (lc *LiveCluster) Client(name string) (*minbft.Client, error) {
+	signer, err := replica.NewSigner(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := lc.registry.Register(name, signer.PublicKey()); err != nil {
+		return nil, err
+	}
+	ep, err := lc.network.Endpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	members, f := lc.membership()
+	cl, err := minbft.NewClient(signer, ep, members, f)
+	if err != nil {
+		return nil, err
+	}
+	cl.Timeout = 5 * time.Second
+	return cl, nil
+}
+
+// membership returns the current member list and tolerance threshold from
+// any live replica.
+func (lc *LiveCluster) membership() ([]string, int) {
+	for _, n := range lc.nodes {
+		if !n.crashed {
+			return n.replica.Members(), n.replica.Tolerance()
+		}
+	}
+	return nil, 0
+}
+
+// Step advances the cluster one control interval: the attacker acts, IDS
+// alerts flow to the node controllers, recoveries and reconfigurations are
+// applied. It returns the IDs recovered this step.
+func (lc *LiveCluster) Step() ([]string, error) {
+	lc.step++
+	// Attacker: start/advance campaigns (§VIII-A).
+	for _, n := range lc.nodes {
+		if n.crashed {
+			continue
+		}
+		compromised := n.compromise != nil && n.compromise.Done()
+		if !compromised && n.compromise == nil && lc.rng.Float64() < lc.cfg.Params.PA {
+			intr, err := attacker.Start(1 + lc.rng.Intn(attacker.NumCampaigns()))
+			if err == nil {
+				n.compromise = intr
+			}
+		}
+		if n.compromise != nil && !n.compromise.Done() {
+			n.boost += n.compromise.Advance(lc.rng)
+			if n.compromise.Done() {
+				lc.Stats.Intrusions++
+				switch n.compromise.Behaviour {
+				case attacker.StaySilent:
+					n.replica.SetByzantine(minbft.Silent)
+				case attacker.SendRandom:
+					n.replica.SetByzantine(minbft.Garbage)
+				default:
+					// Participates while exfiltrating; protocol-visible
+					// behaviour stays honest.
+				}
+			}
+		}
+	}
+
+	// IDS + node controllers; cap parallel recoveries at k.
+	recovered := make([]string, 0, lc.cfg.K)
+	reports := make(map[string]*float64, len(lc.nodes))
+	for _, n := range lc.nodes {
+		if n.crashed {
+			reports[n.id] = nil
+			continue
+		}
+		compromised := n.compromise != nil && n.compromise.Done()
+		obs := n.profile.Sample(lc.rng, compromised) + n.boost
+		n.boost = 0
+		if obs >= ids.AlertSupport {
+			obs = ids.AlertSupport - 1
+		}
+		action := n.controller.Step(obs)
+		if action == nodemodel.Recover && len(recovered) < lc.cfg.K {
+			lc.recoverNode(n)
+			recovered = append(recovered, n.id)
+		}
+		b := n.controller.Belief()
+		reports[n.id] = &b
+	}
+
+	// System controller: evict crashed nodes, maybe add one (Fig 1).
+	decision := lc.sysCtrl.Decide(reports)
+	for _, id := range decision.Evict {
+		if err := lc.evictNode(id); err != nil {
+			return recovered, err
+		}
+	}
+	if decision.Add && len(lc.aliveIDs()) < lc.cfg.SMax {
+		if err := lc.addNode(); err != nil {
+			return recovered, err
+		}
+	}
+	return recovered, nil
+}
+
+// recoverNode replaces the application domain: byzantine behaviour stops,
+// the replica state-syncs from its peers, and the controller resets
+// (§VII-C: the recovered replica starts with a fresh container and the
+// state of f+1 other replicas).
+func (lc *LiveCluster) recoverNode(n *liveNode) {
+	lc.Stats.Recoveries++
+	n.replica.SetByzantine(minbft.Honest)
+	n.compromise = nil
+	n.replica.RequestStateSync(n.replica.LastExecuted() + 1)
+	n.controller.NotifyRecovered()
+}
+
+// CrashNode simulates a hardware crash of a node.
+func (lc *LiveCluster) CrashNode(id string) error {
+	n, ok := lc.nodes[id]
+	if !ok {
+		return fmt.Errorf("core: unknown node %s", id)
+	}
+	n.crashed = true
+	n.replica.Stop()
+	lc.network.Isolate(id)
+	return nil
+}
+
+// evictNode removes a crashed node through consensus (Fig 17f).
+func (lc *LiveCluster) evictNode(id string) error {
+	op, err := minbft.EncodeConfigOp("evict", id)
+	if err != nil {
+		return err
+	}
+	if _, err := lc.admin.Submit(op); err != nil {
+		return fmt.Errorf("core: evict %s: %w", id, err)
+	}
+	lc.Stats.Evictions++
+	delete(lc.nodes, id)
+	lc.refreshAdminMembership()
+	return nil
+}
+
+// addNode starts a new replica and joins it through consensus (Fig 17e).
+func (lc *LiveCluster) addNode() error {
+	id := fmt.Sprintf("node%d", lc.nextNodeID)
+	lc.nextNodeID++
+	members, _ := lc.membership()
+	members = append(members, id)
+	catalog, err := catalogProfiles()
+	if err != nil {
+		return err
+	}
+	phase := 0
+	if lc.cfg.DeltaR != recovery.InfiniteDeltaR {
+		phase = lc.rng.Intn(lc.cfg.DeltaR)
+	}
+	if err := lc.startNode(id, members, catalog, phase); err != nil {
+		return err
+	}
+	op, err := minbft.EncodeConfigOp("join", id)
+	if err != nil {
+		return err
+	}
+	if _, err := lc.admin.Submit(op); err != nil {
+		return fmt.Errorf("core: join %s: %w", id, err)
+	}
+	lc.Stats.Additions++
+	lc.nodes[id].replica.RequestStateSync(1)
+	lc.refreshAdminMembership()
+	return nil
+}
+
+// refreshAdminMembership re-points the admin client at current members.
+func (lc *LiveCluster) refreshAdminMembership() {
+	members, f := lc.membership()
+	if len(members) > 0 {
+		lc.admin.UpdateMembership(members, f)
+	}
+}
+
+// aliveIDs lists non-crashed nodes.
+func (lc *LiveCluster) aliveIDs() []string {
+	out := make([]string, 0, len(lc.nodes))
+	for id, n := range lc.nodes {
+		if !n.crashed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CompromisedNodes lists nodes currently under attacker control.
+func (lc *LiveCluster) CompromisedNodes() []string {
+	var out []string
+	for id, n := range lc.nodes {
+		if n.compromise != nil && n.compromise.Done() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Members returns the current consensus membership.
+func (lc *LiveCluster) Members() []string {
+	members, _ := lc.membership()
+	return members
+}
+
+// Close stops every replica and the network.
+func (lc *LiveCluster) Close() {
+	for _, n := range lc.nodes {
+		if !n.crashed {
+			n.replica.Stop()
+		}
+	}
+	if lc.network != nil {
+		lc.network.Close()
+	}
+}
+
+// ErrNoLiveNodes is returned when every node has crashed.
+var ErrNoLiveNodes = errors.New("core: no live nodes")

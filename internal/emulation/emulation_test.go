@@ -1,0 +1,233 @@
+package emulation
+
+import (
+	"math"
+	"testing"
+
+	"tolerance/internal/baselines"
+	"tolerance/internal/cmdp"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+)
+
+func TestCatalogTenContainers(t *testing.T) {
+	cat, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 10 {
+		t.Fatalf("catalog has %d containers, want 10 (Table 4)", len(cat))
+	}
+	for _, c := range cat {
+		if err := c.Profile.Validate(); err != nil {
+			t.Errorf("container %d: %v", c.ID, err)
+		}
+		if len(c.Vulnerabilities) == 0 || len(c.Services) == 0 {
+			t.Errorf("container %d missing vulns/services", c.ID)
+		}
+		if c.Profile.Divergence() <= 0 {
+			t.Errorf("container %d has non-separating alert profile", c.ID)
+		}
+	}
+	// Replicas 9-10 have two vulnerabilities (Table 4).
+	if len(cat[8].Vulnerabilities) != 2 || len(cat[9].Vulnerabilities) != 2 {
+		t.Error("replicas 9-10 should list two vulnerabilities")
+	}
+}
+
+func TestPhysicalClusterTable3(t *testing.T) {
+	nodes := PhysicalCluster()
+	if len(nodes) != 13 {
+		t.Fatalf("physical cluster has %d nodes, want 13 (Table 3)", len(nodes))
+	}
+	if nodes[12].RAMGB != 768 {
+		t.Errorf("node 13 RAM = %d, want 768", nodes[12].RAMGB)
+	}
+}
+
+func toleranceScenario(t *testing.T, n1, deltaR int, seed int64) Scenario {
+	t.Helper()
+	params := nodemodel.DefaultParams()
+	params.PA = 0.1
+	dp, err := recovery.SolveDP(params, recovery.DPConfig{DeltaR: deltaR, GridSize: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := (n1 - 1) / 2
+	if f > 2 {
+		f = 2
+	}
+	if f < 1 {
+		f = 1
+	}
+	model, err := cmdp.NewBinomialModel(13, f, 0.9, 0.97, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cmdp.Solve(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := baselines.NewTolerance(dp.Strategy(deltaR), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scenario{
+		N1:         n1,
+		DeltaR:     deltaR,
+		Steps:      600,
+		Seed:       seed,
+		Params:     params,
+		Policy:     pol,
+		FitSamples: 4000,
+	}
+}
+
+func TestRunToleranceHighAvailability(t *testing.T) {
+	s := toleranceScenario(t, 6, recovery.InfiniteDeltaR, 1)
+	m, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 7: TOLERANCE reaches ~0.99 availability with fast recovery.
+	if m.Availability < 0.9 {
+		t.Errorf("TOLERANCE availability = %v, want > 0.9", m.Availability)
+	}
+	if m.TimeToRecovery > 20 {
+		t.Errorf("TOLERANCE T(R) = %v, want small", m.TimeToRecovery)
+	}
+	if m.Recoveries == 0 || m.Intrusions == 0 {
+		t.Errorf("run saw %d intrusions, %d recoveries", m.Intrusions, m.Recoveries)
+	}
+}
+
+func TestRunNoRecoveryLowAvailability(t *testing.T) {
+	s := toleranceScenario(t, 6, recovery.InfiniteDeltaR, 2)
+	s.Policy = baselines.NoRecovery{}
+	m, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 7: NO-RECOVERY collapses to ~0.1-0.2 availability and the
+	// recovery-time penalty.
+	if m.Availability > 0.5 {
+		t.Errorf("NO-RECOVERY availability = %v, want low", m.Availability)
+	}
+	if m.TimeToRecovery < recovery.NoRecoveryPenalty/2 {
+		t.Errorf("NO-RECOVERY T(R) = %v, want ~%d", m.TimeToRecovery, recovery.NoRecoveryPenalty)
+	}
+	if m.Recoveries != 0 {
+		t.Errorf("NO-RECOVERY performed %d recoveries", m.Recoveries)
+	}
+}
+
+func TestRunPeriodicBetween(t *testing.T) {
+	sTol := toleranceScenario(t, 6, 15, 3)
+	mTol, err := Run(sTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPer := toleranceScenario(t, 6, 15, 3)
+	sPer.Policy = baselines.Periodic{}
+	mPer, err := Run(sPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNo := toleranceScenario(t, 6, 15, 3)
+	sNo.Policy = baselines.NoRecovery{}
+	mNo, err := Run(sNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 12 ordering: TOLERANCE >= PERIODIC >> NO-RECOVERY on T(A), and
+	// TOLERANCE has the smallest T(R).
+	if mPer.Availability <= mNo.Availability {
+		t.Errorf("PERIODIC availability %v not above NO-RECOVERY %v",
+			mPer.Availability, mNo.Availability)
+	}
+	if mTol.Availability < mPer.Availability-0.08 {
+		t.Errorf("TOLERANCE availability %v clearly below PERIODIC %v",
+			mTol.Availability, mPer.Availability)
+	}
+	if mTol.TimeToRecovery >= mPer.TimeToRecovery {
+		t.Errorf("TOLERANCE T(R) = %v not below PERIODIC %v (feedback advantage)",
+			mTol.TimeToRecovery, mPer.TimeToRecovery)
+	}
+	// PERIODIC's recovery frequency approximates 1/DeltaR per node-step.
+	if math.Abs(mPer.RecoveryFrequency-1.0/15) > 0.03 {
+		t.Errorf("PERIODIC F(R) = %v, want ~%v", mPer.RecoveryFrequency, 1.0/15)
+	}
+}
+
+func TestRunPeriodicAdaptiveAddsNodes(t *testing.T) {
+	s := toleranceScenario(t, 3, 15, 4)
+	s.Policy = baselines.PeriodicAdaptive{TargetN: 6}
+	m, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Additions == 0 {
+		t.Error("PERIODIC-ADAPTIVE never added a node")
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := Run(Scenario{}); err == nil {
+		t.Error("nil policy should fail")
+	}
+	if _, err := Run(Scenario{Policy: baselines.NoRecovery{}, N1: 0}); err == nil {
+		t.Error("N1 = 0 should fail")
+	}
+	if _, err := Run(Scenario{Policy: baselines.NoRecovery{}, N1: 99, SMax: 13}); err == nil {
+		t.Error("N1 > smax should fail")
+	}
+	if _, err := Run(Scenario{Policy: baselines.NoRecovery{}, N1: 3, DeltaR: -1}); err == nil {
+		t.Error("negative deltaR should fail")
+	}
+}
+
+func TestRunSeedsAggregation(t *testing.T) {
+	s := toleranceScenario(t, 3, recovery.InfiniteDeltaR, 0)
+	s.Steps = 200
+	agg, err := RunSeeds(s, []int64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Availability.Mean <= 0 || agg.Availability.Mean > 1 {
+		t.Errorf("availability mean = %v", agg.Availability.Mean)
+	}
+	if agg.Availability.CI < 0 {
+		t.Errorf("negative CI")
+	}
+	if _, err := RunSeeds(s, nil); err == nil {
+		t.Error("no seeds should fail")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	s := toleranceScenario(t, 3, 15, 7)
+	s.Steps = 150
+	m1, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *m1 != *m2 {
+		t.Errorf("same seed produced different metrics:\n%+v\n%+v", m1, m2)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if v := tCritical95(19); v != 2.093 {
+		t.Errorf("t(19) = %v, want 2.093 (the paper's 20-seed protocol)", v)
+	}
+	if v := tCritical95(100); v != 1.96 {
+		t.Errorf("t(100) = %v", v)
+	}
+	if v := tCritical95(1); v != 12.706 {
+		t.Errorf("t(1) = %v", v)
+	}
+}

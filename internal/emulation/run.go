@@ -1,0 +1,519 @@
+package emulation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tolerance/internal/attacker"
+	"tolerance/internal/baselines"
+	"tolerance/internal/dist"
+	"tolerance/internal/ids"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+)
+
+// ErrBadScenario is returned for invalid scenario configurations.
+var ErrBadScenario = errors.New("emulation: bad scenario")
+
+// Scenario configures one evaluation run (§VIII-A).
+type Scenario struct {
+	// N1 is the initial number of nodes.
+	N1 int
+	// SMax caps the replication factor (Table 3 has 13 physical nodes).
+	SMax int
+	// K is the number of parallel recoveries allowed (Prop. 1; Table 8: 1).
+	K int
+	// F is the tolerance threshold; 0 selects the paper's evaluation rule
+	// f = min((N1-1)/2, 2) (Table 8).
+	F int
+	// DeltaR is the BTR bound (recovery.InfiniteDeltaR = none).
+	DeltaR int
+	// Steps is the number of 60-second time steps to simulate.
+	Steps int
+	// Seed drives all randomness of the run.
+	Seed int64
+	// Params is the node model (Table 8 §X values by default).
+	Params nodemodel.Params
+	// Policy is the two-level control strategy under evaluation.
+	Policy baselines.Policy
+	// FitSamples is M for the Ẑ estimation (paper: 25,000).
+	FitSamples int
+	// Workload is the background client population.
+	Workload BackgroundWorkload
+}
+
+func (s *Scenario) applyDefaults() error {
+	if s.Policy == nil {
+		return fmt.Errorf("%w: nil policy", ErrBadScenario)
+	}
+	if s.N1 < 1 {
+		return fmt.Errorf("%w: N1 = %d", ErrBadScenario, s.N1)
+	}
+	if s.SMax == 0 {
+		s.SMax = 13
+	}
+	if s.N1 > s.SMax {
+		return fmt.Errorf("%w: N1 = %d > smax = %d", ErrBadScenario, s.N1, s.SMax)
+	}
+	if s.K == 0 {
+		s.K = 1
+	}
+	if s.F == 0 {
+		s.F = (s.N1 - 1) / 2
+		if s.F > 2 {
+			s.F = 2
+		}
+		if s.F < 1 {
+			s.F = 1
+		}
+	}
+	if s.DeltaR < 0 {
+		return fmt.Errorf("%w: deltaR = %d", ErrBadScenario, s.DeltaR)
+	}
+	if s.Steps == 0 {
+		s.Steps = 1000
+	}
+	if s.Params.ZHealthy == nil {
+		p := nodemodel.DefaultParams()
+		p.PA = 0.1 // §X evaluation value
+		s.Params = p
+	}
+	if err := s.Params.Validate(); err != nil {
+		return err
+	}
+	if s.FitSamples == 0 {
+		s.FitSamples = 25000
+	}
+	if s.Workload.Lambda == 0 {
+		s.Workload = DefaultBackgroundWorkload()
+	}
+	return nil
+}
+
+// Metrics aggregates one run's evaluation quantities (§III-C, Table 7).
+type Metrics struct {
+	// Availability is T(A): the fraction of steps where at most f nodes
+	// were compromised or crashed (the paper's §III-C metric).
+	Availability float64
+	// QuorumAvailability additionally requires N_t >= 2f+1+k alive nodes
+	// (the full Prop. 1 condition for correct service): it exposes
+	// replication shortfalls that T(A) alone does not.
+	QuorumAvailability float64
+	// TimeToRecovery is T(R) in steps, penalty 10^3 for unrecovered
+	// intrusions.
+	TimeToRecovery float64
+	// RecoveryFrequency is F(R): recoveries per node-step.
+	RecoveryFrequency float64
+	// AvgNodes is the mean replication factor over the run.
+	AvgNodes float64
+	// Intrusions counts completed compromises.
+	Intrusions int
+	// Recoveries counts controller recoveries.
+	Recoveries int
+	// Evictions and Additions count replication-factor changes.
+	Evictions, Additions int
+}
+
+// simNode is one virtual node of the testbed.
+type simNode struct {
+	id            int
+	container     Container
+	fit           *ids.FittedZ
+	state         nodemodel.State
+	intrusion     *attacker.Intrusion
+	behaviour     attacker.Behaviour
+	belief        float64
+	phase         int // BTR calendar offset
+	lastAction    nodemodel.Action
+	pendingBoost  int
+	compromisedAt int
+	lastObs       int
+}
+
+// Run executes a scenario and returns its metrics.
+func Run(s Scenario) (*Metrics, error) {
+	if err := s.applyDefaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	catalog, err := Catalog()
+	if err != nil {
+		return nil, err
+	}
+	// Fit Ẑ per container once (the paper's offline training phase).
+	fits := make([]*ids.FittedZ, len(catalog))
+	for i, c := range catalog {
+		fit, err := ids.Fit(rng, c.Profile, s.FitSamples)
+		if err != nil {
+			return nil, err
+		}
+		fits[i] = fit
+	}
+
+	spawn := func(id, phase int) *simNode {
+		ci := rng.Intn(len(catalog))
+		return &simNode{
+			id:            id,
+			container:     catalog[ci],
+			fit:           fits[ci],
+			state:         nodemodel.Healthy,
+			belief:        s.Params.PA,
+			phase:         phase,
+			compromisedAt: -1,
+		}
+	}
+
+	nodes := make([]*simNode, 0, s.SMax)
+	for i := 0; i < s.N1; i++ {
+		phase := 0
+		if s.DeltaR != recovery.InfiniteDeltaR {
+			phase = (i * s.DeltaR) / s.N1 // stagger forced recoveries
+		}
+		nodes = append(nodes, spawn(i, phase))
+	}
+	nextID := s.N1
+
+	m := &Metrics{}
+	var recoveryTimes []float64
+	availableSteps := 0
+	quorumSteps := 0
+	nodeSteps := 0
+	totalNodes := 0.0
+	obsSum, obsCount := 0.0, 0
+	sessions := 0
+
+	for t := 1; t <= s.Steps; t++ {
+		// Background client population (Poisson arrivals, exponential
+		// service); the load adds baseline alert noise.
+		sessions += dist.SamplePoisson(rng, s.Workload.Lambda)
+		leave := 0
+		for i := 0; i < sessions; i++ {
+			if rng.Float64() < 1/s.Workload.MeanServiceSteps {
+				leave++
+			}
+		}
+		sessions -= leave
+		load := float64(sessions) / (s.Workload.Lambda * s.Workload.MeanServiceSteps)
+
+		// 1. Observations and belief updates.
+		observations := make([]int, 0, len(nodes))
+		for _, n := range nodes {
+			obs := n.container.Profile.Sample(rng, n.state == nodemodel.Compromised)
+			obs += n.pendingBoost
+			n.pendingBoost = 0
+			if dist.SampleBernoulli(rng, 0.1*load) {
+				obs++ // background-traffic false alert
+			}
+			if obs >= ids.AlertSupport {
+				obs = ids.AlertSupport - 1
+			}
+			n.lastObs = obs
+			observations = append(observations, obs)
+			obsSum += float64(obs)
+			obsCount++
+			n.belief = updateBeliefFitted(s.Params, n.fit, n.belief, n.lastAction, obs)
+		}
+
+		// 2. Action selection: forced calendar recoveries first, then the
+		// policy's threshold recoveries, capped at k parallel recoveries.
+		recovering := make([]*simNode, 0, s.K)
+		if s.Policy.UsesBTR() && s.DeltaR != recovery.InfiniteDeltaR {
+			for _, n := range nodes {
+				if (t+n.phase)%s.DeltaR == 0 && len(recovering) < s.K {
+					recovering = append(recovering, n)
+				}
+			}
+		}
+		// Threshold recoveries in descending belief order.
+		candidates := make([]*simNode, 0, len(nodes))
+		for _, n := range nodes {
+			if containsNode(recovering, n) {
+				continue
+			}
+			windowPos := t + n.phase
+			if s.DeltaR != recovery.InfiniteDeltaR {
+				windowPos = (t + n.phase) % s.DeltaR
+				if windowPos == 0 {
+					continue
+				}
+			}
+			action := s.Policy.NodeAction(baselines.NodeContext{
+				Belief:    n.belief,
+				Obs:       n.lastObs,
+				WindowPos: windowPos,
+				DeltaR:    s.DeltaR,
+			})
+			if action == nodemodel.Recover {
+				candidates = append(candidates, n)
+			}
+		}
+		sortByBelief(candidates)
+		for _, n := range candidates {
+			if len(recovering) >= s.K {
+				break
+			}
+			recovering = append(recovering, n)
+		}
+
+		// 3. Apply recoveries: the container is replaced with a random
+		// image from Table 4 (§VIII-A) and the belief resets.
+		for _, n := range nodes {
+			n.lastAction = nodemodel.Wait
+		}
+		for _, n := range recovering {
+			m.Recoveries++
+			if n.compromisedAt >= 0 {
+				recoveryTimes = append(recoveryTimes, float64(t-n.compromisedAt))
+				n.compromisedAt = -1
+			}
+			ci := rng.Intn(len(catalog))
+			n.container = catalog[ci]
+			n.fit = fits[ci]
+			n.state = nodemodel.Healthy
+			n.intrusion = nil
+			n.belief = s.Params.PA
+			n.lastAction = nodemodel.Recover
+		}
+
+		// 4. System controller: evict crashed nodes (they failed to report
+		// a belief, §V-B), then decide whether to add one.
+		evictedNow := 0
+		alive := nodes[:0]
+		for _, n := range nodes {
+			if n.state == nodemodel.Crashed {
+				m.Evictions++
+				evictedNow++
+				continue
+			}
+			alive = append(alive, n)
+		}
+		nodes = alive
+		healthyEstimate := 0.0
+		for _, n := range nodes {
+			healthyEstimate += 1 - n.belief
+		}
+		est := int(math.Floor(healthyEstimate))
+		if est > s.SMax {
+			est = s.SMax
+		}
+		meanObs := 0.0
+		if obsCount > 0 {
+			meanObs = obsSum / float64(obsCount)
+		}
+		if len(nodes) < s.SMax && s.Policy.AddNode(baselines.SystemContext{
+			HealthyEstimate: est,
+			AliveNodes:      len(nodes),
+			Observations:    observations,
+			MeanObs:         meanObs,
+			Rng:             rng,
+		}) {
+			phase := 0
+			if s.DeltaR != recovery.InfiniteDeltaR {
+				phase = rng.Intn(s.DeltaR)
+			}
+			nodes = append(nodes, spawn(nextID, phase))
+			nextID++
+			m.Additions++
+		}
+
+		// 5. Metrics: T(A) counts the steps where at most f nodes are
+		// compromised or crashed (§III-C; crashed nodes were evicted in
+		// stage 4, so they are exactly this step's eviction count).
+		compromised := 0
+		for _, n := range nodes {
+			if n.state == nodemodel.Compromised {
+				compromised++
+			}
+		}
+		if compromised+evictedNow <= s.F {
+			availableSteps++
+			if len(nodes) >= 2*s.F+1+s.K {
+				quorumSteps++
+			}
+		}
+		nodeSteps += len(nodes)
+		totalNodes += float64(len(nodes))
+
+		// 6. Environment transition: intrusions, crashes, updates.
+		for _, n := range nodes {
+			switch n.state {
+			case nodemodel.Healthy:
+				if dist.SampleBernoulli(rng, s.Params.PC1) {
+					n.state = nodemodel.Crashed
+					continue
+				}
+				if n.intrusion == nil && dist.SampleBernoulli(rng, s.Params.PA) {
+					intr, err := attacker.Start(n.container.ID)
+					if err == nil {
+						n.intrusion = intr
+					}
+				}
+				if n.intrusion != nil {
+					n.pendingBoost += n.intrusion.Advance(rng)
+					if n.intrusion.Done() {
+						n.state = nodemodel.Compromised
+						n.behaviour = n.intrusion.Behaviour
+						n.compromisedAt = t
+						m.Intrusions++
+					}
+				}
+			case nodemodel.Compromised:
+				if dist.SampleBernoulli(rng, s.Params.PC2) {
+					n.state = nodemodel.Crashed
+					if n.compromisedAt >= 0 {
+						recoveryTimes = append(recoveryTimes, recovery.NoRecoveryPenalty)
+						n.compromisedAt = -1
+					}
+					continue
+				}
+				if dist.SampleBernoulli(rng, s.Params.PU) {
+					// Software update silently cleans the node (eq. 2g);
+					// not a controller recovery, so T(R) is not recorded.
+					n.state = nodemodel.Healthy
+					n.intrusion = nil
+					n.compromisedAt = -1
+				}
+			}
+		}
+	}
+
+	// Unrecovered intrusions at the end of the run take the penalty.
+	for _, n := range nodes {
+		if n.compromisedAt >= 0 {
+			recoveryTimes = append(recoveryTimes, recovery.NoRecoveryPenalty)
+		}
+	}
+
+	m.Availability = float64(availableSteps) / float64(s.Steps)
+	m.QuorumAvailability = float64(quorumSteps) / float64(s.Steps)
+	if nodeSteps > 0 {
+		m.RecoveryFrequency = float64(m.Recoveries) / float64(nodeSteps)
+	}
+	if len(recoveryTimes) > 0 {
+		sum := 0.0
+		for _, v := range recoveryTimes {
+			sum += v
+		}
+		m.TimeToRecovery = sum / float64(len(recoveryTimes))
+	}
+	m.AvgNodes = totalNodes / float64(s.Steps)
+	return m, nil
+}
+
+// updateBeliefFitted is the Appendix A belief recursion using the
+// controller's estimated observation model Ẑ.
+func updateBeliefFitted(p nodemodel.Params, fit *ids.FittedZ, belief float64, action nodemodel.Action, obs int) float64 {
+	pred := p.PredictBelief(belief, action)
+	zc := fit.Compromised.Prob(obs)
+	zh := fit.Healthy.Prob(obs)
+	num := zc * pred
+	den := num + zh*(1-pred)
+	if den <= 0 {
+		return belief
+	}
+	b := num / den
+	return math.Min(1, math.Max(0, b))
+}
+
+func containsNode(list []*simNode, n *simNode) bool {
+	for _, x := range list {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func sortByBelief(nodes []*simNode) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].belief > nodes[j-1].belief; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}
+
+// Summary holds a mean and its 95% confidence half-width.
+type Summary struct {
+	Mean float64
+	CI   float64
+}
+
+// Aggregate is the multi-seed result for one strategy/configuration cell of
+// Table 7.
+type Aggregate struct {
+	Availability       Summary
+	QuorumAvailability Summary
+	TimeToRecovery     Summary
+	RecoveryFrequency  Summary
+	AvgNodes           Summary
+}
+
+// RunSeeds evaluates a scenario across seeds (the paper uses 20) and
+// summarizes each metric with a Student-t 95% confidence interval.
+func RunSeeds(base Scenario, seeds []int64) (*Aggregate, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("%w: no seeds", ErrBadScenario)
+	}
+	var avail, quorum, ttr, freq, avgNodes []float64
+	for _, seed := range seeds {
+		s := base
+		s.Seed = seed
+		m, err := Run(s)
+		if err != nil {
+			return nil, err
+		}
+		avail = append(avail, m.Availability)
+		quorum = append(quorum, m.QuorumAvailability)
+		ttr = append(ttr, m.TimeToRecovery)
+		freq = append(freq, m.RecoveryFrequency)
+		avgNodes = append(avgNodes, m.AvgNodes)
+	}
+	return &Aggregate{
+		Availability:       summarize(avail),
+		QuorumAvailability: summarize(quorum),
+		TimeToRecovery:     summarize(ttr),
+		RecoveryFrequency:  summarize(freq),
+		AvgNodes:           summarize(avgNodes),
+	}, nil
+}
+
+// summarize computes mean and a 95% Student-t confidence half-width.
+func summarize(xs []float64) Summary {
+	n := float64(len(xs))
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return Summary{Mean: mean}
+	}
+	variance := 0.0
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= n - 1
+	se := math.Sqrt(variance / n)
+	return Summary{Mean: mean, CI: tCritical95(len(xs)-1) * se}
+}
+
+// tCritical95 approximates the two-sided 95% Student-t critical value by
+// table lookup with the nearest smaller degrees of freedom.
+func tCritical95(df int) float64 {
+	if df > 49 {
+		return 1.96
+	}
+	keys := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 14, 19, 29, 49}
+	values := []float64{12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+		2.306, 2.262, 2.228, 2.145, 2.093, 2.045, 2.010}
+	out := values[0]
+	for i, k := range keys {
+		if df >= k {
+			out = values[i]
+		}
+	}
+	return out
+}

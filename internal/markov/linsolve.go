@@ -1,0 +1,67 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by SolveLinear when the system has no unique
+// solution.
+var ErrSingular = errors.New("markov: singular linear system")
+
+// SolveLinear solves the dense linear system a x = b by Gaussian elimination
+// with partial pivoting. The inputs are not modified.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("markov: system dimensions %dx? vs rhs %d", n, len(b))
+	}
+	// Copy into an augmented matrix.
+	m := make([][]float64, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("markov: row %d has length %d, want %d", i, len(a[i]), n)
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		pv := m[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := m[r][col] / pv
+			if factor == 0 {
+				continue
+			}
+			row := m[r]
+			prow := m[col]
+			for c := col; c <= n; c++ {
+				row[c] -= factor * prow[c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := m[i][n]
+		for j := i + 1; j < n; j++ {
+			v -= m[i][j] * x[j]
+		}
+		x[i] = v / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,301 @@
+// Package markov provides finite Markov-chain analytics used by the paper's
+// reliability analysis (Appendix F): mean time to failure as a hitting time
+// of the failure set (solved by Gaussian elimination) and the reliability
+// function R(t) = P[T(f) > t] via the Chapman-Kolmogorov equation.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrInvalidChain is returned when a transition matrix is not row-stochastic.
+var ErrInvalidChain = errors.New("markov: invalid transition matrix")
+
+// rowSumTolerance is the allowed deviation of each row sum from 1.
+const rowSumTolerance = 1e-9
+
+// Chain is a finite discrete-time Markov chain with states {0, ..., n-1}.
+type Chain struct {
+	p [][]float64
+}
+
+// NewChain validates p as a row-stochastic matrix and returns the chain. The
+// matrix is copied.
+func NewChain(p [][]float64) (*Chain, error) {
+	n := len(p)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty matrix", ErrInvalidChain)
+	}
+	cp := make([][]float64, n)
+	for i, row := range p {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has length %d, want %d", ErrInvalidChain, i, len(row), n)
+		}
+		sum := 0.0
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: p[%d][%d] = %v", ErrInvalidChain, i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > rowSumTolerance {
+			return nil, fmt.Errorf("%w: row %d sums to %v", ErrInvalidChain, i, sum)
+		}
+		cp[i] = make([]float64, n)
+		copy(cp[i], row)
+	}
+	return &Chain{p: cp}, nil
+}
+
+// Len returns the number of states.
+func (c *Chain) Len() int { return len(c.p) }
+
+// Prob returns P[S_{t+1} = to | S_t = from].
+func (c *Chain) Prob(from, to int) float64 { return c.p[from][to] }
+
+// Row returns a copy of the transition row for the given state.
+func (c *Chain) Row(from int) []float64 {
+	out := make([]float64, len(c.p[from]))
+	copy(out, c.p[from])
+	return out
+}
+
+// Step propagates a distribution one step: out = mu * P.
+func (c *Chain) Step(mu []float64) []float64 {
+	n := len(c.p)
+	out := make([]float64, n)
+	for i, m := range mu {
+		if m == 0 {
+			continue
+		}
+		row := c.p[i]
+		for j, pij := range row {
+			out[j] += m * pij
+		}
+	}
+	return out
+}
+
+// Sample draws the next state given the current state.
+func (c *Chain) Sample(rng *rand.Rand, from int) int {
+	u := rng.Float64()
+	acc := 0.0
+	row := c.p[from]
+	for j, pij := range row {
+		acc += pij
+		if u < acc {
+			return j
+		}
+	}
+	return len(row) - 1
+}
+
+// HittingTimes returns the expected number of steps to reach the target set
+// from each state (Appendix F): for states in the target set the value is 0;
+// otherwise it solves the linear system
+//
+//	h(s) = 1 + sum_{s' not in target} P(s, s') h(s')
+//
+// by Gaussian elimination. States that cannot reach the target have h = +Inf.
+func (c *Chain) HittingTimes(target map[int]bool) ([]float64, error) {
+	n := len(c.p)
+	// Index the transient (non-target) states.
+	idx := make([]int, 0, n)
+	pos := make(map[int]int, n)
+	for s := 0; s < n; s++ {
+		if !target[s] {
+			pos[s] = len(idx)
+			idx = append(idx, s)
+		}
+	}
+	m := len(idx)
+	h := make([]float64, n)
+	if m == 0 {
+		return h, nil
+	}
+	// (I - Q) h = 1, where Q is P restricted to transient states.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for r, s := range idx {
+		a[r] = make([]float64, m)
+		for cidx, s2 := range idx {
+			a[r][cidx] = -c.p[s][s2]
+		}
+		a[r][r] += 1
+		b[r] = 1
+	}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		// A singular system means some transient states never reach the
+		// target; report them as infinite rather than failing.
+		for _, s := range idx {
+			h[s] = math.Inf(1)
+		}
+		return h, nil
+	}
+	for r, s := range idx {
+		if x[r] < 0 || math.IsNaN(x[r]) {
+			h[s] = math.Inf(1)
+		} else {
+			h[s] = x[r]
+		}
+	}
+	return h, nil
+}
+
+// MTTF is the mean time to failure from the initial state: the expected
+// hitting time of the failure set F = {0, ..., f} when the chain tracks the
+// number of healthy nodes (Appendix F).
+func (c *Chain) MTTF(initial int, failureSet map[int]bool) (float64, error) {
+	if initial < 0 || initial >= len(c.p) {
+		return 0, fmt.Errorf("markov: initial state %d out of range [0, %d)", initial, len(c.p))
+	}
+	h, err := c.HittingTimes(failureSet)
+	if err != nil {
+		return 0, err
+	}
+	return h[initial], nil
+}
+
+// Reliability returns R(t) = P[T(f) > t] for t = 0..horizon given the initial
+// state, where T(f) is the first time the chain enters the failure set. It
+// evaluates eq. (18): R(t) = sum_{s not in F} (e_s1^T P^t)_s, on the chain
+// with the failure set made absorbing.
+func (c *Chain) Reliability(initial int, failureSet map[int]bool, horizon int) ([]float64, error) {
+	n := len(c.p)
+	if initial < 0 || initial >= n {
+		return nil, fmt.Errorf("markov: initial state %d out of range [0, %d)", initial, n)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("markov: negative horizon %d", horizon)
+	}
+	// Build the absorbing version of the chain.
+	abs := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		abs[s] = make([]float64, n)
+		if failureSet[s] {
+			abs[s][s] = 1
+		} else {
+			copy(abs[s], c.p[s])
+		}
+	}
+	ac := &Chain{p: abs}
+
+	mu := make([]float64, n)
+	mu[initial] = 1
+	out := make([]float64, horizon+1)
+	for t := 0; t <= horizon; t++ {
+		surv := 0.0
+		for s := 0; s < n; s++ {
+			if !failureSet[s] {
+				surv += mu[s]
+			}
+		}
+		out[t] = surv
+		if t < horizon {
+			mu = ac.Step(mu)
+		}
+	}
+	return out, nil
+}
+
+// StationaryDistribution computes the stationary distribution by power
+// iteration from the uniform distribution. It returns an error if the
+// iteration has not converged within maxIter steps to the given tolerance.
+func (c *Chain) StationaryDistribution(maxIter int, tol float64) ([]float64, error) {
+	n := len(c.p)
+	mu := make([]float64, n)
+	for i := range mu {
+		mu[i] = 1 / float64(n)
+	}
+	for it := 0; it < maxIter; it++ {
+		next := c.Step(mu)
+		diff := 0.0
+		for i := range next {
+			diff += math.Abs(next[i] - mu[i])
+		}
+		mu = next
+		if diff < tol {
+			return mu, nil
+		}
+	}
+	return nil, fmt.Errorf("markov: stationary distribution did not converge in %d iterations", maxIter)
+}
+
+// AbsorptionProbability returns, for each state, the probability of ever
+// reaching the target set (1 for target states). It solves
+// q = P_{transient,target} 1 + Q q by Gaussian elimination.
+func (c *Chain) AbsorptionProbability(target map[int]bool) ([]float64, error) {
+	n := len(c.p)
+	// States from which the target is unreachable have probability zero;
+	// excluding them keeps the linear system non-singular.
+	reach := c.canReach(target)
+	idx := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if !target[s] && reach[s] {
+			idx = append(idx, s)
+		}
+	}
+	m := len(idx)
+	q := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if target[s] {
+			q[s] = 1
+		}
+	}
+	if m == 0 {
+		return q, nil
+	}
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for r, s := range idx {
+		a[r] = make([]float64, m)
+		direct := 0.0
+		for s2 := 0; s2 < n; s2++ {
+			if target[s2] {
+				direct += c.p[s][s2]
+			}
+		}
+		for cidx, s2 := range idx {
+			a[r][cidx] = -c.p[s][s2]
+		}
+		a[r][r] += 1
+		b[r] = direct
+	}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("markov: absorption probabilities: %w", err)
+	}
+	for r, s := range idx {
+		q[s] = math.Min(1, math.Max(0, x[r]))
+	}
+	return q, nil
+}
+
+// canReach returns, for each state, whether the target set is reachable via
+// transitions with positive probability.
+func (c *Chain) canReach(target map[int]bool) []bool {
+	n := len(c.p)
+	reach := make([]bool, n)
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if target[s] {
+			reach[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for from := 0; from < n; from++ {
+			if !reach[from] && c.p[from][s] > 0 {
+				reach[from] = true
+				queue = append(queue, from)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,376 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewChainValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       [][]float64
+		wantErr bool
+	}{
+		{"valid 2-state", [][]float64{{0.9, 0.1}, {0.3, 0.7}}, false},
+		{"identity", [][]float64{{1, 0}, {0, 1}}, false},
+		{"empty", nil, true},
+		{"not square", [][]float64{{0.5, 0.5}, {1}}, true},
+		{"negative entry", [][]float64{{1.1, -0.1}, {0, 1}}, true},
+		{"row not stochastic", [][]float64{{0.5, 0.4}, {0, 1}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewChain(tt.p)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewChain err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestStepPreservesMass(t *testing.T) {
+	c, err := NewChain([][]float64{{0.5, 0.5, 0}, {0.1, 0.8, 0.1}, {0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := []float64{1, 0, 0}
+	for i := 0; i < 50; i++ {
+		mu = c.Step(mu)
+	}
+	sum := 0.0
+	for _, v := range mu {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("mass after 50 steps = %v, want 1", sum)
+	}
+	// State 2 is absorbing; eventually all mass lands there.
+	if mu[2] < 0.9 {
+		t.Errorf("absorbing state mass = %v, want > 0.9", mu[2])
+	}
+}
+
+func TestHittingTimeGeometricClosedForm(t *testing.T) {
+	// Two-state chain: from state 1 fall into absorbing state 0 with
+	// probability p per step. Expected hitting time is 1/p.
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		c, err := NewChain([][]float64{{1, 0}, {p, 1 - p}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mttf, err := c.MTTF(1, map[int]bool{0: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 1 / p; math.Abs(mttf-want) > 1e-6*want {
+			t.Errorf("p=%v: MTTF = %v, want %v", p, mttf, want)
+		}
+	}
+}
+
+func TestHittingTimeBirthDeath(t *testing.T) {
+	// Pure-death chain on {0,1,2,3}: from s > 0 go down one with prob q,
+	// stay with 1-q. Hitting time of {0} from s is s/q.
+	q := 0.25
+	p := [][]float64{
+		{1, 0, 0, 0},
+		{q, 1 - q, 0, 0},
+		{0, q, 1 - q, 0},
+		{0, 0, q, 1 - q},
+	}
+	c, err := NewChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.HittingTimes(map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= 3; s++ {
+		want := float64(s) / q
+		if math.Abs(h[s]-want) > 1e-6 {
+			t.Errorf("h[%d] = %v, want %v", s, h[s], want)
+		}
+	}
+	if h[0] != 0 {
+		t.Errorf("h[0] = %v, want 0", h[0])
+	}
+}
+
+func TestHittingTimeUnreachableIsInf(t *testing.T) {
+	// State 1 is absorbing and never reaches state 0.
+	c, err := NewChain([][]float64{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.HittingTimes(map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(h[1], 1) {
+		t.Errorf("h[1] = %v, want +Inf", h[1])
+	}
+}
+
+func TestReliabilityMatchesGeometric(t *testing.T) {
+	// R(t) for the 2-state chain is (1-p)^t.
+	p := 0.2
+	c, err := NewChain([][]float64{{1, 0}, {p, 1 - p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Reliability(1, map[int]bool{0: true}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt <= 20; tt++ {
+		want := math.Pow(1-p, float64(tt))
+		if math.Abs(r[tt]-want) > 1e-9 {
+			t.Errorf("R(%d) = %v, want %v", tt, r[tt], want)
+		}
+	}
+}
+
+func TestReliabilityMonotoneAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Random 5-state chain with failure set {0}.
+	n := 5
+	p := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			p[i][j] = rng.Float64()
+			sum += p[i][j]
+		}
+		for j := 0; j < n; j++ {
+			p[i][j] /= sum
+		}
+		// Renormalize exactly.
+		total := 0.0
+		for j := 0; j < n-1; j++ {
+			total += p[i][j]
+		}
+		p[i][n-1] = 1 - total
+	}
+	c, err := NewChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Reliability(4, map[int]bool{0: true}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt < len(r); tt++ {
+		if r[tt] > r[tt-1]+1e-12 {
+			t.Fatalf("R increased at t=%d: %v > %v", tt, r[tt], r[tt-1])
+		}
+		if r[tt] < -1e-12 || r[tt] > 1+1e-12 {
+			t.Fatalf("R(%d) = %v out of [0,1]", tt, r[tt])
+		}
+	}
+}
+
+func TestReliabilityInputValidation(t *testing.T) {
+	c, err := NewChain([][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reliability(5, nil, 10); err == nil {
+		t.Error("out-of-range initial state should fail")
+	}
+	if _, err := c.Reliability(0, nil, -1); err == nil {
+		t.Error("negative horizon should fail")
+	}
+	if _, err := c.MTTF(-1, nil); err == nil {
+		t.Error("out-of-range MTTF initial state should fail")
+	}
+}
+
+func TestStationaryDistribution(t *testing.T) {
+	// Classic 2-state chain; stationary distribution is (b, a)/(a+b) for
+	// P = [[1-a, a], [b, 1-b]].
+	a, b := 0.3, 0.1
+	c, err := NewChain([][]float64{{1 - a, a}, {b, 1 - b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := c.StationaryDistribution(10000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := b / (a + b)
+	if math.Abs(mu[0]-want0) > 1e-9 {
+		t.Errorf("stationary[0] = %v, want %v", mu[0], want0)
+	}
+}
+
+func TestAbsorptionProbability(t *testing.T) {
+	// Gambler's ruin on {0,1,2,3} with fair steps; absorption at 3 from s
+	// has probability s/3 when state 0 is also absorbing.
+	p := [][]float64{
+		{1, 0, 0, 0},
+		{0.5, 0, 0.5, 0},
+		{0, 0.5, 0, 0.5},
+		{0, 0, 0, 1},
+	}
+	c, err := NewChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.AbsorptionProbability(map[int]bool{3: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s <= 3; s++ {
+		want := float64(s) / 3
+		if math.Abs(q[s]-want) > 1e-9 {
+			t.Errorf("q[%d] = %v, want %v", s, q[s], want)
+		}
+	}
+}
+
+func TestSampleFollowsTransitionProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c, err := NewChain([][]float64{{0.2, 0.8}, {0.6, 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if c.Sample(rng, 0) == 1 {
+			count++
+		}
+	}
+	if got := float64(count) / n; math.Abs(got-0.8) > 0.01 {
+		t.Errorf("empirical P(0->1) = %v, want ~0.8", got)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); err == nil {
+		t.Error("singular system should fail")
+	}
+}
+
+func TestSolveLinearDimensionMismatch(t *testing.T) {
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square system should fail")
+	}
+	if _, err := SolveLinear([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs length mismatch should fail")
+	}
+}
+
+// Property: SolveLinear(a, a*x) recovers x for random well-conditioned
+// (diagonally dominant) systems.
+func TestSolveLinearRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := make([][]float64, n)
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = make([]float64, n)
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				a[i][j] = r.Float64()*2 - 1
+				rowSum += math.Abs(a[i][j])
+			}
+			a[i][i] += rowSum + 1 // diagonal dominance
+			x[i] = r.Float64()*10 - 5
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a[i][j] * x[j]
+			}
+		}
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hitting times computed analytically agree with Monte-Carlo
+// simulation on small random absorbing chains.
+func TestHittingTimeMatchesSimulationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// 4-state chain: state 0 absorbing target; others have positive
+		// probability of moving toward 0.
+		p := [][]float64{{1, 0, 0, 0}, nil, nil, nil}
+		for i := 1; i < 4; i++ {
+			w := make([]float64, 4)
+			sum := 0.0
+			for j := 0; j < 4; j++ {
+				w[j] = r.Float64() + 0.05
+				sum += w[j]
+			}
+			for j := 0; j < 4; j++ {
+				w[j] /= sum
+			}
+			total := 0.0
+			for j := 0; j < 3; j++ {
+				total += w[j]
+			}
+			w[3] = 1 - total
+			p[i] = w
+		}
+		c, err := NewChain(p)
+		if err != nil {
+			return false
+		}
+		h, err := c.HittingTimes(map[int]bool{0: true})
+		if err != nil {
+			return false
+		}
+		// Simulate from state 3.
+		const episodes = 4000
+		total := 0.0
+		for e := 0; e < episodes; e++ {
+			s := 3
+			steps := 0
+			for s != 0 && steps < 100000 {
+				s = c.Sample(r, s)
+				steps++
+			}
+			total += float64(steps)
+		}
+		sim := total / episodes
+		// Loose bound: Monte-Carlo with 4000 episodes.
+		return math.Abs(sim-h[3]) < 0.25*h[3]+0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package minbft
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tolerance/internal/replica"
+	"tolerance/internal/transport"
+)
+
+// ErrTimeout is returned when a request does not reach a reply quorum in
+// time.
+var ErrTimeout = errors.New("minbft: request timed out")
+
+// Client submits signed requests to the replica group and waits for f+1
+// identical replies (§VII-B: a quorum is necessary because the client does
+// not know which replicas are compromised).
+type Client struct {
+	signer   *replica.Signer
+	endpoint transport.Endpoint
+
+	mu      sync.Mutex
+	members []string
+	f       int
+
+	// RetransmitInterval is how often unanswered requests are resent.
+	RetransmitInterval time.Duration
+	// Timeout bounds one Submit call.
+	Timeout time.Duration
+}
+
+// NewClient creates a client for the given membership and tolerance
+// threshold f.
+func NewClient(signer *replica.Signer, endpoint transport.Endpoint, members []string, f int) (*Client, error) {
+	if signer == nil || endpoint == nil {
+		return nil, errors.New("minbft: nil client dependency")
+	}
+	if len(members) == 0 {
+		return nil, errors.New("minbft: empty membership")
+	}
+	if f < 0 {
+		return nil, fmt.Errorf("minbft: negative f = %d", f)
+	}
+	return &Client{
+		signer:             signer,
+		endpoint:           endpoint,
+		members:            append([]string(nil), members...),
+		f:                  f,
+		RetransmitInterval: 300 * time.Millisecond,
+		Timeout:            10 * time.Second,
+	}, nil
+}
+
+// UpdateMembership replaces the replica set and tolerance threshold after a
+// reconfiguration.
+func (c *Client) UpdateMembership(members []string, f int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members = append([]string(nil), members...)
+	c.f = f
+}
+
+// Submit signs the operation, broadcasts it to all replicas, and blocks
+// until f+1 identical replies arrive or the timeout elapses.
+func (c *Client) Submit(op replica.Op) (string, error) {
+	req := c.signer.Sign(op)
+	payload, err := encode(typeRequest, req)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	members := append([]string(nil), c.members...)
+	f := c.f
+	c.mu.Unlock()
+
+	collector, err := replica.NewQuorumCollector(req.ID(), f)
+	if err != nil {
+		return "", err
+	}
+	send := func() {
+		for _, m := range members {
+			_ = c.endpoint.Send(m, payload)
+		}
+	}
+	send()
+
+	deadline := time.After(c.Timeout)
+	retransmit := time.NewTicker(c.RetransmitInterval)
+	defer retransmit.Stop()
+	for {
+		select {
+		case msg, ok := <-c.endpoint.Receive():
+			if !ok {
+				return "", transport.ErrClosed
+			}
+			var env envelope
+			if err := json.Unmarshal(msg.Payload, &env); err != nil || env.Type != typeReply {
+				continue
+			}
+			var rep replica.Reply
+			if err := json.Unmarshal(env.Data, &rep); err != nil {
+				continue
+			}
+			// Replies must come from current members; a byzantine outsider
+			// cannot vote.
+			if !contains(members, msg.From) || rep.ReplicaID != msg.From {
+				continue
+			}
+			if result, done := collector.Add(rep); done {
+				return result, nil
+			}
+		case <-retransmit.C:
+			send()
+		case <-deadline:
+			return "", fmt.Errorf("%w: %s", ErrTimeout, req.ID())
+		}
+	}
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

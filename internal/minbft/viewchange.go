@@ -1,0 +1,408 @@
+package minbft
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+
+	"tolerance/internal/replica"
+)
+
+// startViewChange suspects the current leader and votes for view+1
+// (Fig 17b).
+func (r *Replica) startViewChange() {
+	r.mu.Lock()
+	if r.inViewChange {
+		r.mu.Unlock()
+		return
+	}
+	r.inViewChange = true
+	target := r.view + 1
+	lastExec := r.lastExec
+	r.mu.Unlock()
+
+	r.logf("view change -> %d", target)
+	v := &viewChangeMsg{ReplicaID: r.cfg.ID, NewView: target, LastExec: lastExec}
+	ui, err := r.cfg.USIG.CreateUI(v.signedPayload())
+	if err != nil {
+		return
+	}
+	v.UI = ui
+	r.recordViewChange(v)
+	r.broadcast(typeViewChange, v)
+	r.maybeInstallView(target)
+}
+
+// onViewChange handles a peer's VIEW-CHANGE vote.
+func (r *Replica) onViewChange(v *viewChangeMsg) {
+	r.mu.Lock()
+	if v.NewView <= r.view {
+		r.mu.Unlock()
+		return
+	}
+	if v.UI.ReplicaID != v.ReplicaID {
+		r.mu.Unlock()
+		return
+	}
+	quorum := r.toleranceLocked() + 1
+	r.mu.Unlock()
+
+	r.recordViewChange(v)
+
+	// Join the view change once f+1 distinct replicas vote for it — this
+	// replica cannot be left behind even if its own timer never fired.
+	r.mu.Lock()
+	votes := len(r.viewChangeVotes[v.NewView])
+	joined := r.inViewChange
+	r.mu.Unlock()
+	if votes >= quorum && !joined {
+		r.mu.Lock()
+		r.inViewChange = true
+		lastExec := r.lastExec
+		r.mu.Unlock()
+		own := &viewChangeMsg{ReplicaID: r.cfg.ID, NewView: v.NewView, LastExec: lastExec}
+		if ui, err := r.cfg.USIG.CreateUI(own.signedPayload()); err == nil {
+			own.UI = ui
+			r.recordViewChange(own)
+			r.broadcast(typeViewChange, own)
+		}
+	}
+	r.maybeInstallView(v.NewView)
+}
+
+// recordViewChange stores a vote.
+func (r *Replica) recordViewChange(v *viewChangeMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.viewChangeVotes[v.NewView] == nil {
+		r.viewChangeVotes[v.NewView] = make(map[string]*viewChangeMsg)
+	}
+	r.viewChangeVotes[v.NewView][v.ReplicaID] = v
+}
+
+// maybeInstallView lets the new view's leader broadcast NEW-VIEW once it
+// holds f+1 votes (including its own).
+func (r *Replica) maybeInstallView(target uint64) {
+	r.mu.Lock()
+	if target <= r.view {
+		r.mu.Unlock()
+		return
+	}
+	newLeader := r.members[int(target)%len(r.members)]
+	if newLeader != r.cfg.ID {
+		r.mu.Unlock()
+		return
+	}
+	votes := r.viewChangeVotes[target]
+	quorum := r.toleranceLocked() + 1
+	if len(votes) < quorum {
+		r.mu.Unlock()
+		return
+	}
+	maxExec := uint64(0)
+	proof := make([]viewChangeMsg, 0, len(votes))
+	for _, v := range votes {
+		proof = append(proof, *v)
+		if v.LastExec > maxExec {
+			maxExec = v.LastExec
+		}
+	}
+	sort.Slice(proof, func(i, j int) bool { return proof[i].ReplicaID < proof[j].ReplicaID })
+	if r.lastExec > maxExec {
+		maxExec = r.lastExec
+	}
+	r.mu.Unlock()
+
+	n := &newViewMsg{View: target, LeaderID: r.cfg.ID, MaxExec: maxExec, Proof: proof}
+	ui, err := r.cfg.USIG.CreateUI(n.signedPayload())
+	if err != nil {
+		return
+	}
+	n.UI = ui
+	r.logf("installing view %d (maxExec %d)", target, maxExec)
+	r.adoptView(n)
+	r.broadcast(typeNewView, n)
+}
+
+// onNewView handles the NEW-VIEW installation message.
+func (r *Replica) onNewView(n *newViewMsg) {
+	r.mu.Lock()
+	if n.View <= r.view {
+		r.mu.Unlock()
+		return
+	}
+	expectedLeader := r.members[int(n.View)%len(r.members)]
+	if n.UI.ReplicaID != expectedLeader || n.LeaderID != expectedLeader {
+		r.mu.Unlock()
+		return
+	}
+	quorum := r.toleranceLocked() + 1
+	r.mu.Unlock()
+
+	// Verify the proof: f+1 distinct valid view-change votes for this view.
+	valid := make(map[string]bool)
+	for i := range n.Proof {
+		v := n.Proof[i]
+		if v.NewView != n.View || v.UI.ReplicaID != v.ReplicaID {
+			continue
+		}
+		if err := r.cfg.Verifier.VerifyUI(v.signedPayload(), v.UI); err != nil {
+			continue
+		}
+		valid[v.ReplicaID] = true
+	}
+	if len(valid) < quorum {
+		r.logf("reject new-view %d: only %d valid votes", n.View, len(valid))
+		return
+	}
+	r.adoptView(n)
+}
+
+// adoptView switches to the new view and re-tracks pending requests.
+func (r *Replica) adoptView(n *newViewMsg) {
+	r.mu.Lock()
+	if n.View <= r.view {
+		r.mu.Unlock()
+		return
+	}
+	r.view = n.View
+	r.inViewChange = false
+	r.entries = make(map[uint64]*pendingEntry)
+	start := n.MaxExec
+	if r.lastExec > start {
+		start = r.lastExec
+	}
+	r.nextPrepareSeq = start + 1
+	r.expectedSeq = start + 1
+	for view := range r.viewChangeVotes {
+		if view <= n.View {
+			delete(r.viewChangeVotes, view)
+		}
+	}
+	behind := r.lastExec < n.MaxExec
+	r.mu.Unlock()
+
+	if behind {
+		r.requestStateSyncLocked(n.MaxExec)
+	}
+}
+
+// emitCheckpoint broadcasts this replica's state digest (Fig 17c).
+func (r *Replica) emitCheckpoint(seq uint64) {
+	c := &checkpointMsg{ReplicaID: r.cfg.ID, Seq: seq, Digest: r.cfg.Store.Digest()}
+	ui, err := r.cfg.USIG.CreateUI(c.signedPayload())
+	if err != nil {
+		return
+	}
+	c.UI = ui
+	r.recordCheckpoint(c)
+	r.broadcast(typeCheckpoint, c)
+}
+
+// onCheckpoint handles a peer's checkpoint.
+func (r *Replica) onCheckpoint(c *checkpointMsg) {
+	if c.UI.ReplicaID != c.ReplicaID {
+		return
+	}
+	r.recordCheckpoint(c)
+	// A replica that observes a stable checkpoint far ahead of its own
+	// execution is missing state (e.g. it joined or recovered); catch up.
+	r.mu.Lock()
+	behind := c.Seq > r.lastExec && r.stableSeq >= c.Seq
+	target := c.Seq
+	r.mu.Unlock()
+	if behind {
+		r.requestStateSyncLocked(target)
+	}
+}
+
+// recordCheckpoint stores a checkpoint vote and advances the stable
+// checkpoint on f+1 matching digests.
+func (r *Replica) recordCheckpoint(c *checkpointMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c.Seq <= r.stableSeq {
+		return
+	}
+	if r.checkpointVotes[c.Seq] == nil {
+		r.checkpointVotes[c.Seq] = make(map[string][32]byte)
+	}
+	r.checkpointVotes[c.Seq][c.ReplicaID] = c.Digest
+	// Count agreement on the most common digest.
+	counts := make(map[[32]byte]int)
+	for _, d := range r.checkpointVotes[c.Seq] {
+		counts[d]++
+	}
+	quorum := r.toleranceLocked() + 1
+	for _, n := range counts {
+		if n >= quorum {
+			r.stableSeq = c.Seq
+			// Garbage-collect old votes.
+			for seq := range r.checkpointVotes {
+				if seq <= r.stableSeq {
+					delete(r.checkpointVotes, seq)
+				}
+			}
+			break
+		}
+	}
+}
+
+// StableCheckpoint returns the highest sequence with f+1 matching digests.
+func (r *Replica) StableCheckpoint() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stableSeq
+}
+
+// RequestStateSync asks peers for a snapshot at or beyond minSeq (used by
+// joining and recovered replicas, Fig 17d-e).
+func (r *Replica) RequestStateSync(minSeq uint64) {
+	r.requestStateSyncLocked(minSeq)
+}
+
+func (r *Replica) requestStateSyncLocked(minSeq uint64) {
+	req := &stateRequestMsg{ReplicaID: r.cfg.ID, MinSeq: minSeq}
+	r.broadcast(typeStateRequest, req)
+}
+
+// onStateRequest serves a snapshot (STATE, Fig 17d).
+func (r *Replica) onStateRequest(s *stateRequestMsg) {
+	r.mu.Lock()
+	lastExec := r.lastExec
+	view := r.view
+	members := append([]string(nil), r.members...)
+	r.mu.Unlock()
+	if lastExec < s.MinSeq {
+		return // cannot help
+	}
+	snapshot, err := r.cfg.Store.Snapshot()
+	if err != nil {
+		return
+	}
+	resp := &stateResponseMsg{
+		ReplicaID: r.cfg.ID,
+		Seq:       lastExec,
+		View:      view,
+		Digest:    r.cfg.Store.Digest(),
+		Snapshot:  snapshot,
+		Members:   members,
+	}
+	r.sendTo(s.ReplicaID, typeStateResponse, resp)
+}
+
+// stateVoteKey identifies a snapshot candidate.
+type stateVoteKey struct {
+	seq    uint64
+	digest [32]byte
+}
+
+// newProbeStore builds a scratch store for snapshot digest verification.
+func newProbeStore() *replica.KVStore { return replica.NewKVStore() }
+
+// onStateResponse collects snapshots and installs one once f+1 replicas
+// agree on (seq, digest). The f+1 rule mirrors §VII-C: a recovered replica
+// initializes its state from f+1 identical copies.
+func (r *Replica) onStateResponse(s *stateResponseMsg) {
+	r.mu.Lock()
+	if s.Seq <= r.lastExec {
+		r.mu.Unlock()
+		return
+	}
+	if r.stateResponses == nil {
+		r.stateResponses = make(map[stateVoteKey]map[string]*stateResponseMsg)
+	}
+	key := stateVoteKey{seq: s.Seq, digest: s.Digest}
+	if r.stateResponses[key] == nil {
+		r.stateResponses[key] = make(map[string]*stateResponseMsg)
+	}
+	r.stateResponses[key][s.ReplicaID] = s
+	quorum := r.toleranceLocked() + 1
+	votes := len(r.stateResponses[key])
+	r.mu.Unlock()
+
+	if votes < quorum {
+		return
+	}
+	// Verify the snapshot digest matches before installing.
+	probe := replicaStoreDigest(s.Snapshot)
+	if probe == nil || !bytes.Equal(probe, s.Digest[:]) {
+		r.logf("state response digest mismatch from %s", s.ReplicaID)
+		return
+	}
+	if err := r.cfg.Store.Restore(s.Snapshot); err != nil {
+		r.logf("restore: %v", err)
+		return
+	}
+	r.mu.Lock()
+	r.lastExec = s.Seq
+	if s.View > r.view {
+		r.view = s.View
+		r.inViewChange = false
+	}
+	if len(s.Members) >= 2 {
+		members := append([]string(nil), s.Members...)
+		sort.Strings(members)
+		r.members = members
+	}
+	r.entries = make(map[uint64]*pendingEntry)
+	r.nextPrepareSeq = s.Seq + 1
+	r.expectedSeq = s.Seq + 1
+	r.stateResponses = nil
+	r.mu.Unlock()
+	r.logf("state transfer complete at seq %d", s.Seq)
+}
+
+// replicaStoreDigest computes the digest a fresh store would have after
+// restoring the snapshot.
+func replicaStoreDigest(snapshot []byte) []byte {
+	probe := newProbeStore()
+	if err := probe.Restore(snapshot); err != nil {
+		return nil
+	}
+	d := probe.Digest()
+	return d[:]
+}
+
+// applyConfigOp executes a reconfiguration op that was ordered through
+// consensus (Fig 17 e-f). All honest replicas apply it at the same sequence
+// number, so membership changes deterministically.
+func (r *Replica) applyConfigOp(value string) {
+	var op configOp
+	if err := json.Unmarshal([]byte(value), &op); err != nil {
+		r.logf("bad config op: %v", err)
+		return
+	}
+	r.mu.Lock()
+	oldLeader := r.leaderLocked()
+	switch op.Action {
+	case "join":
+		present := false
+		for _, m := range r.members {
+			if m == op.NodeID {
+				present = true
+			}
+		}
+		if !present {
+			r.members = append(r.members, op.NodeID)
+			sort.Strings(r.members)
+		}
+	case "evict":
+		out := r.members[:0]
+		for _, m := range r.members {
+			if m != op.NodeID {
+				out = append(out, m)
+			}
+		}
+		r.members = out
+	}
+	leaderEvicted := op.Action == "evict" && op.NodeID == oldLeader
+	r.mu.Unlock()
+	r.logf("config %s %s -> members %v", op.Action, op.NodeID, r.Members())
+
+	if leaderEvicted {
+		// The evicted node can no longer lead; move to the next view
+		// (Fig 17f: EVICT triggers NEW-VIEW).
+		r.startViewChange()
+	}
+}

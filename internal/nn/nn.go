@@ -1,0 +1,313 @@
+// Package nn implements the small dense neural networks and the Adam
+// optimizer used by the PPO baseline of Table 2 (4 layers of 64 ReLU units,
+// Table 8). It is a minimal, allocation-conscious implementation sufficient
+// for the low-dimensional policy/value networks of Problem 1.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadShape is returned when network dimensions are inconsistent.
+var ErrBadShape = errors.New("nn: bad shape")
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota + 1
+	Tanh
+)
+
+// MLP is a fully connected network with identical hidden activations and a
+// linear output layer.
+type MLP struct {
+	sizes  []int
+	w      [][]float64 // w[l][out*in[l]+in] — row-major per layer
+	b      [][]float64
+	hidden Activation
+}
+
+// NewMLP builds a network with the given layer sizes (input, hidden...,
+// output), initialized with He-scaled Gaussian weights.
+func NewMLP(rng *rand.Rand, hidden Activation, sizes ...int) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("%w: need at least input and output sizes", ErrBadShape)
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("%w: layer size %d", ErrBadShape, s)
+		}
+	}
+	if hidden != ReLU && hidden != Tanh {
+		return nil, fmt.Errorf("%w: unknown activation %d", ErrBadShape, hidden)
+	}
+	m := &MLP{
+		sizes:  append([]int(nil), sizes...),
+		hidden: hidden,
+	}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.w = append(m.w, w)
+		m.b = append(m.b, make([]float64, out))
+	}
+	return m, nil
+}
+
+// NumLayers returns the number of weight layers.
+func (m *MLP) NumLayers() int { return len(m.w) }
+
+// InputSize returns the expected input dimension.
+func (m *MLP) InputSize() int { return m.sizes[0] }
+
+// OutputSize returns the output dimension.
+func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
+
+func (m *MLP) activate(v float64) float64 {
+	switch m.hidden {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	default:
+		return math.Tanh(v)
+	}
+}
+
+func (m *MLP) activateGrad(pre float64) float64 {
+	switch m.hidden {
+	case ReLU:
+		if pre < 0 {
+			return 0
+		}
+		return 1
+	default:
+		t := math.Tanh(pre)
+		return 1 - t*t
+	}
+}
+
+// Forward computes the network output for a single input.
+func (m *MLP) Forward(x []float64) []float64 {
+	c := m.ForwardCache(x)
+	out := c.act[len(c.act)-1]
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Cache holds the intermediate activations of one forward pass, needed for
+// backpropagation.
+type Cache struct {
+	pre [][]float64 // pre-activations per weight layer
+	act [][]float64 // act[0] = input, act[l+1] = output of layer l
+}
+
+// Output returns the network output of the cached forward pass. The slice
+// aliases the cache and must not be modified.
+func (c *Cache) Output() []float64 {
+	return c.act[len(c.act)-1]
+}
+
+// ForwardCache runs a forward pass retaining intermediate activations.
+func (m *MLP) ForwardCache(x []float64) *Cache {
+	c := &Cache{}
+	cur := append([]float64(nil), x...)
+	c.act = append(c.act, cur)
+	last := len(m.w) - 1
+	for l := range m.w {
+		in, out := m.sizes[l], m.sizes[l+1]
+		pre := make([]float64, out)
+		w := m.w[l]
+		for o := 0; o < out; o++ {
+			sum := m.b[l][o]
+			row := w[o*in : (o+1)*in]
+			for i, xi := range cur {
+				sum += row[i] * xi
+			}
+			pre[o] = sum
+		}
+		c.pre = append(c.pre, pre)
+		next := make([]float64, out)
+		if l == last {
+			copy(next, pre) // linear output layer
+		} else {
+			for o, p := range pre {
+				next[o] = m.activate(p)
+			}
+		}
+		c.act = append(c.act, next)
+		cur = next
+	}
+	return c
+}
+
+// Grads accumulates parameter gradients with the same shapes as the network.
+type Grads struct {
+	w [][]float64
+	b [][]float64
+}
+
+// NewGrads allocates a zeroed gradient buffer for the network.
+func (m *MLP) NewGrads() *Grads {
+	g := &Grads{}
+	for l := range m.w {
+		g.w = append(g.w, make([]float64, len(m.w[l])))
+		g.b = append(g.b, make([]float64, len(m.b[l])))
+	}
+	return g
+}
+
+// Zero resets the accumulated gradients.
+func (g *Grads) Zero() {
+	for l := range g.w {
+		for i := range g.w[l] {
+			g.w[l][i] = 0
+		}
+		for i := range g.b[l] {
+			g.b[l][i] = 0
+		}
+	}
+}
+
+// Backward accumulates gradients for one sample given dLoss/dOutput.
+func (m *MLP) Backward(c *Cache, dOut []float64, g *Grads) {
+	last := len(m.w) - 1
+	delta := append([]float64(nil), dOut...)
+	for l := last; l >= 0; l-- {
+		in := m.sizes[l]
+		out := m.sizes[l+1]
+		if l != last {
+			for o := 0; o < out; o++ {
+				delta[o] *= m.activateGrad(c.pre[l][o])
+			}
+		}
+		input := c.act[l]
+		w := m.w[l]
+		gw := g.w[l]
+		gb := g.b[l]
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			gb[o] += d
+			row := gw[o*in : (o+1)*in]
+			for i, xi := range input {
+				row[i] += d * xi
+			}
+		}
+		if l > 0 {
+			prev := make([]float64, in)
+			for o := 0; o < out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				row := w[o*in : (o+1)*in]
+				for i := 0; i < in; i++ {
+					prev[i] += d * row[i]
+				}
+			}
+			delta = prev
+		}
+	}
+}
+
+// Adam is the Adam optimizer over an MLP's parameters.
+type Adam struct {
+	// LR is the learning rate.
+	LR float64
+	// Beta1, Beta2, Eps are the standard Adam constants; zero values take
+	// the usual defaults (0.9, 0.999, 1e-8).
+	Beta1, Beta2, Eps float64
+
+	t          int
+	mw, vw     [][]float64
+	mb, vb     [][]float64
+	registered *MLP
+}
+
+// Step applies one Adam update using gradients scaled by 1/scale (e.g. the
+// batch size). Gradients are not modified.
+func (a *Adam) Step(m *MLP, g *Grads, scale float64) error {
+	if scale <= 0 {
+		return fmt.Errorf("%w: scale %v", ErrBadShape, scale)
+	}
+	if a.registered == nil {
+		a.registered = m
+		for l := range m.w {
+			a.mw = append(a.mw, make([]float64, len(m.w[l])))
+			a.vw = append(a.vw, make([]float64, len(m.w[l])))
+			a.mb = append(a.mb, make([]float64, len(m.b[l])))
+			a.vb = append(a.vb, make([]float64, len(m.b[l])))
+		}
+	} else if a.registered != m {
+		return fmt.Errorf("%w: Adam bound to a different network", ErrBadShape)
+	}
+	b1 := a.Beta1
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	b2 := a.Beta2
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	eps := a.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	lr := a.LR
+	if lr == 0 {
+		lr = 3e-4
+	}
+	a.t++
+	bc1 := 1 - math.Pow(b1, float64(a.t))
+	bc2 := 1 - math.Pow(b2, float64(a.t))
+	update := func(p, grad, mom, vel []float64) {
+		for i := range p {
+			g := grad[i] / scale
+			mom[i] = b1*mom[i] + (1-b1)*g
+			vel[i] = b2*vel[i] + (1-b2)*g*g
+			mHat := mom[i] / bc1
+			vHat := vel[i] / bc2
+			p[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+		}
+	}
+	for l := range m.w {
+		update(m.w[l], g.w[l], a.mw[l], a.vw[l])
+		update(m.b[l], g.b[l], a.mb[l], a.vb[l])
+	}
+	return nil
+}
+
+// Softmax converts logits into probabilities in place-safe fashion.
+func Softmax(logits []float64) []float64 {
+	maxL := math.Inf(-1)
+	for _, l := range logits {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, l := range logits {
+		e := math.Exp(l - maxL)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+)
+
+// BO implements Bayesian Optimization with an exact Matérn-5/2 Gaussian
+// process and a lower-confidence-bound acquisition (the paper's [72];
+// Table 8: beta = 2.5, Matérn(2.5) kernel). Candidates are proposed by
+// multi-start random search over the acquisition surface.
+type BO struct {
+	// Beta is the LCB exploration weight (Table 8: 2.5).
+	Beta float64
+	// InitialSamples seeds the GP with uniform random evaluations.
+	InitialSamples int
+	// Candidates is the number of random acquisition probes per iteration.
+	Candidates int
+	// LengthScale of the Matérn kernel; defaults to 0.2.
+	LengthScale float64
+	// NoiseVar models observation noise of the stochastic objective.
+	NoiseVar float64
+	// MaxGPPoints caps the conditioning set; the most recent and the best
+	// points are kept when it is exceeded (keeps fitting O(n^3) bounded).
+	MaxGPPoints int
+}
+
+// Name implements Optimizer.
+func (BO) Name() string { return "bo" }
+
+// Minimize implements Optimizer.
+func (b BO) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+	if err := validateArgs(dim, budget, obj); err != nil {
+		return nil, err
+	}
+	beta := b.Beta
+	if beta == 0 {
+		beta = 2.5
+	}
+	initial := b.InitialSamples
+	if initial <= 0 {
+		initial = 5 * dim
+	}
+	if initial >= budget {
+		initial = budget / 2
+	}
+	if initial < 1 {
+		initial = 1
+	}
+	candidates := b.Candidates
+	if candidates <= 0 {
+		candidates = 256
+	}
+	lengthScale := b.LengthScale
+	if lengthScale <= 0 {
+		lengthScale = 0.2
+	}
+	noise := b.NoiseVar
+	if noise <= 0 {
+		noise = 1e-4
+	}
+	maxPoints := b.MaxGPPoints
+	if maxPoints <= 0 {
+		maxPoints = 160
+	}
+
+	tr := newTracker(obj)
+	var xs [][]float64
+	var ys []float64
+	for e := 0; e < initial; e++ {
+		theta := make([]float64, dim)
+		for i := range theta {
+			theta[i] = rng.Float64()
+		}
+		y := tr.evaluate(theta)
+		xs = append(xs, theta)
+		ys = append(ys, y)
+	}
+
+	model := newGP(lengthScale, 1, noise)
+	for tr.evals < budget {
+		fitXs, fitYs := xs, ys
+		if len(xs) > maxPoints {
+			fitXs, fitYs = selectGPPoints(xs, ys, maxPoints)
+		}
+		if err := model.fit(fitXs, normalize(fitYs)); err != nil {
+			// A singular kernel (duplicated points) falls back on random
+			// exploration for this step.
+			theta := make([]float64, dim)
+			for i := range theta {
+				theta[i] = rng.Float64()
+			}
+			y := tr.evaluate(theta)
+			xs = append(xs, theta)
+			ys = append(ys, y)
+			continue
+		}
+		// Minimize the LCB acquisition mu - beta*sigma by random multistart
+		// plus local jitter around the incumbent.
+		bestAcq := math.Inf(1)
+		bestTheta := make([]float64, dim)
+		probe := make([]float64, dim)
+		for cIdx := 0; cIdx < candidates; cIdx++ {
+			if cIdx%4 == 0 && tr.bestTheta != nil {
+				for i := range probe {
+					probe[i] = tr.bestTheta[i] + 0.05*rng.NormFloat64()
+				}
+			} else {
+				for i := range probe {
+					probe[i] = rng.Float64()
+				}
+			}
+			clamp01(probe)
+			mu, v := model.predict(probe)
+			acq := mu - beta*math.Sqrt(v)
+			if acq < bestAcq {
+				bestAcq = acq
+				copy(bestTheta, probe)
+			}
+		}
+		y := tr.evaluate(bestTheta)
+		xs = append(xs, append([]float64(nil), bestTheta...))
+		ys = append(ys, y)
+	}
+	return tr.result(), nil
+}
+
+// normalize returns ys standardized to zero mean, unit variance.
+func normalize(ys []float64) []float64 {
+	n := float64(len(ys))
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= n
+	variance := 0.0
+	for _, y := range ys {
+		d := y - mean
+		variance += d * d
+	}
+	variance /= n
+	std := math.Sqrt(variance)
+	if std < 1e-12 {
+		std = 1
+	}
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = (y - mean) / std
+	}
+	return out
+}
+
+// selectGPPoints keeps the best half and the most recent half of the budget.
+func selectGPPoints(xs [][]float64, ys []float64, limit int) ([][]float64, []float64) {
+	type pair struct {
+		x []float64
+		y float64
+	}
+	// Most recent limit/2 points.
+	recent := len(xs) - limit/2
+	keep := make([]pair, 0, limit)
+	for i := recent; i < len(xs); i++ {
+		keep = append(keep, pair{xs[i], ys[i]})
+	}
+	// Best remaining points.
+	type idxPair struct {
+		idx int
+		y   float64
+	}
+	var rest []idxPair
+	for i := 0; i < recent; i++ {
+		rest = append(rest, idxPair{i, ys[i]})
+	}
+	for len(keep) < limit && len(rest) > 0 {
+		best := 0
+		for i := range rest {
+			if rest[i].y < rest[best].y {
+				best = i
+			}
+		}
+		keep = append(keep, pair{xs[rest[best].idx], ys[rest[best].idx]})
+		rest = append(rest[:best], rest[best+1:]...)
+	}
+	outX := make([][]float64, len(keep))
+	outY := make([]float64, len(keep))
+	for i, p := range keep {
+		outX[i] = p.x
+		outY[i] = p.y
+	}
+	return outX, outY
+}

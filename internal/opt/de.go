@@ -1,0 +1,88 @@
+package opt
+
+import (
+	"math/rand"
+)
+
+// DE implements Differential Evolution (Storn & Price, the paper's [71];
+// Table 8: population 10, mutation step 0.2, recombination rate 0.7) in the
+// DE/rand/1/bin variant.
+type DE struct {
+	// Population is the number of agents (Table 8: 10).
+	Population int
+	// MutationStep is the differential weight F (Table 8: 0.2).
+	MutationStep float64
+	// Recombination is the crossover rate CR (Table 8: 0.7).
+	Recombination float64
+}
+
+// Name implements Optimizer.
+func (DE) Name() string { return "de" }
+
+// Minimize implements Optimizer.
+func (d DE) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+	if err := validateArgs(dim, budget, obj); err != nil {
+		return nil, err
+	}
+	pop := d.Population
+	if pop <= 0 {
+		pop = 10
+	}
+	if pop < 4 {
+		pop = 4
+	}
+	if pop > budget {
+		pop = budget
+	}
+	f := d.MutationStep
+	if f == 0 {
+		f = 0.2
+	}
+	cr := d.Recombination
+	if cr == 0 {
+		cr = 0.7
+	}
+
+	tr := newTracker(obj)
+	agents := make([][]float64, pop)
+	values := make([]float64, pop)
+	for s := 0; s < pop; s++ {
+		theta := make([]float64, dim)
+		for i := range theta {
+			theta[i] = rng.Float64()
+		}
+		agents[s] = theta
+		values[s] = tr.evaluate(theta)
+	}
+	trial := make([]float64, dim)
+	for tr.evals < budget {
+		for s := 0; s < pop && tr.evals < budget; s++ {
+			// Pick three distinct agents different from s.
+			a, b, c := s, s, s
+			for a == s {
+				a = rng.Intn(pop)
+			}
+			for b == s || b == a {
+				b = rng.Intn(pop)
+			}
+			for c == s || c == a || c == b {
+				c = rng.Intn(pop)
+			}
+			forced := rng.Intn(dim)
+			for i := 0; i < dim; i++ {
+				if i == forced || rng.Float64() < cr {
+					trial[i] = agents[a][i] + f*(agents[b][i]-agents[c][i])
+				} else {
+					trial[i] = agents[s][i]
+				}
+			}
+			clamp01(trial)
+			v := tr.evaluate(trial)
+			if v <= values[s] {
+				copy(agents[s], trial)
+				values[s] = v
+			}
+		}
+	}
+	return tr.result(), nil
+}

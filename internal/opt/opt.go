@@ -1,0 +1,143 @@
+// Package opt provides the parametric optimizers used by Algorithm 1 of the
+// paper to search threshold-strategy parameter spaces: Simultaneous
+// Perturbation Stochastic Approximation (SPSA), the Cross-Entropy Method
+// (CEM), Differential Evolution (DE), and Bayesian Optimization (BO) with a
+// Matérn-5/2 Gaussian process and a lower-confidence-bound acquisition — the
+// configurations of Table 8.
+//
+// All optimizers minimize a (possibly stochastic) objective over the unit
+// box [0, 1]^dim and record a best-so-far trace for convergence plots
+// (Fig 7).
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ErrBadConfig is returned when an optimizer is configured inconsistently.
+var ErrBadConfig = errors.New("opt: bad configuration")
+
+// Objective evaluates a parameter vector in [0,1]^dim; smaller is better.
+// Evaluations may be stochastic (Monte-Carlo estimates of J_i in eq. (5)).
+type Objective func(theta []float64) float64
+
+// TracePoint records the best objective value seen after a number of
+// evaluations; used to reproduce the convergence curves of Fig 7.
+type TracePoint struct {
+	Evaluations int
+	Elapsed     time.Duration
+	Best        float64
+}
+
+// Result is the outcome of a minimization run.
+type Result struct {
+	// Theta is the best parameter vector found.
+	Theta []float64
+	// Value is the objective value at Theta as observed during the search.
+	Value float64
+	// Evaluations is the number of objective calls consumed.
+	Evaluations int
+	// Elapsed is the total wall-clock duration of the search.
+	Elapsed time.Duration
+	// Trace holds best-so-far checkpoints.
+	Trace []TracePoint
+}
+
+// Optimizer minimizes an objective over [0,1]^dim with a fixed budget of
+// objective evaluations.
+type Optimizer interface {
+	// Name identifies the algorithm (e.g. "cem").
+	Name() string
+	// Minimize runs the search. budget is the maximum number of objective
+	// evaluations.
+	Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error)
+}
+
+// tracker accumulates evaluations and the best-so-far trace.
+type tracker struct {
+	obj       Objective
+	evals     int
+	start     time.Time
+	bestTheta []float64
+	bestValue float64
+	trace     []TracePoint
+}
+
+func newTracker(obj Objective) *tracker {
+	return &tracker{obj: obj, start: time.Now(), bestValue: math.Inf(1)}
+}
+
+func (t *tracker) evaluate(theta []float64) float64 {
+	v := t.obj(theta)
+	t.evals++
+	if v < t.bestValue {
+		t.bestValue = v
+		t.bestTheta = append([]float64(nil), theta...)
+		t.trace = append(t.trace, TracePoint{
+			Evaluations: t.evals,
+			Elapsed:     time.Since(t.start),
+			Best:        v,
+		})
+	}
+	return v
+}
+
+func (t *tracker) result() *Result {
+	return &Result{
+		Theta:       t.bestTheta,
+		Value:       t.bestValue,
+		Evaluations: t.evals,
+		Elapsed:     time.Since(t.start),
+		Trace:       t.trace,
+	}
+}
+
+func clamp01(theta []float64) {
+	for i, v := range theta {
+		if v < 0 {
+			theta[i] = 0
+		} else if v > 1 {
+			theta[i] = 1
+		}
+	}
+}
+
+func validateArgs(dim, budget int, obj Objective) error {
+	if dim < 1 {
+		return fmt.Errorf("%w: dim = %d", ErrBadConfig, dim)
+	}
+	if budget < 2 {
+		return fmt.Errorf("%w: budget = %d", ErrBadConfig, budget)
+	}
+	if obj == nil {
+		return fmt.Errorf("%w: nil objective", ErrBadConfig)
+	}
+	return nil
+}
+
+// RandomSearch is a uniform-sampling baseline optimizer. It is not part of
+// the paper's Table 2 but serves as a sanity floor in tests and ablations.
+type RandomSearch struct{}
+
+// Name implements Optimizer.
+func (RandomSearch) Name() string { return "random" }
+
+// Minimize implements Optimizer.
+func (RandomSearch) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+	if err := validateArgs(dim, budget, obj); err != nil {
+		return nil, err
+	}
+	tr := newTracker(obj)
+	theta := make([]float64, dim)
+	for e := 0; e < budget; e++ {
+		for i := range theta {
+			theta[i] = rng.Float64()
+		}
+		tr.evaluate(theta)
+	}
+	return tr.result(), nil
+}

@@ -1,0 +1,102 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SPSA implements Simultaneous Perturbation Stochastic Approximation
+// (Spall), the paper's [69] baseline with the gain schedule of Table 8:
+//
+//	a_k = a / (A + k)^alpha,   c_k = c / k^gamma.
+//
+// Zero-valued fields fall back on the defaults below.
+type SPSA struct {
+	// A is the stability constant (Table 8: 100).
+	A float64
+	// AGain is the numerator of the step-size schedule (Table 8: 1).
+	AGain float64
+	// CGain is the numerator of the perturbation schedule.
+	CGain float64
+	// Alpha and Gamma are the decay exponents (Table 8: 0.602, 0.101).
+	Alpha float64
+	// Gamma is the perturbation decay exponent.
+	Gamma float64
+	// Restarts is the number of independent starts sharing the budget.
+	Restarts int
+}
+
+// Name implements Optimizer.
+func (SPSA) Name() string { return "spsa" }
+
+// Minimize implements Optimizer.
+func (s SPSA) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+	if err := validateArgs(dim, budget, obj); err != nil {
+		return nil, err
+	}
+	a := s.AGain
+	if a == 0 {
+		a = 0.2
+	}
+	c := s.CGain
+	if c == 0 {
+		c = 0.15
+	}
+	bigA := s.A
+	if bigA == 0 {
+		bigA = 100
+	}
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = 0.602
+	}
+	gamma := s.Gamma
+	if gamma == 0 {
+		gamma = 0.101
+	}
+	restarts := s.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+
+	tr := newTracker(obj)
+	perRestart := budget / restarts
+	theta := make([]float64, dim)
+	plus := make([]float64, dim)
+	minus := make([]float64, dim)
+	delta := make([]float64, dim)
+	for r := 0; r < restarts && tr.evals < budget; r++ {
+		for i := range theta {
+			theta[i] = rng.Float64()
+		}
+		tr.evaluate(theta)
+		// Two evaluations per iteration plus one final evaluation.
+		iters := (perRestart - 2) / 2
+		for k := 1; k <= iters && tr.evals+2 <= budget; k++ {
+			ak := a / math.Pow(bigA+float64(k), alpha)
+			ck := c / math.Pow(float64(k), gamma)
+			for i := range delta {
+				if rng.Float64() < 0.5 {
+					delta[i] = 1
+				} else {
+					delta[i] = -1
+				}
+				plus[i] = theta[i] + ck*delta[i]
+				minus[i] = theta[i] - ck*delta[i]
+			}
+			clamp01(plus)
+			clamp01(minus)
+			yPlus := tr.evaluate(plus)
+			yMinus := tr.evaluate(minus)
+			for i := range theta {
+				g := (yPlus - yMinus) / (2 * ck * delta[i])
+				theta[i] -= ak * g
+			}
+			clamp01(theta)
+		}
+		if tr.evals < budget {
+			tr.evaluate(theta)
+		}
+	}
+	return tr.result(), nil
+}

@@ -1,0 +1,199 @@
+package pomdp
+
+import (
+	"fmt"
+	"math"
+
+	"tolerance/internal/lp"
+)
+
+// AlphaVector is one piece of a piecewise-linear value function (Fig 4).
+// Under the cost-minimization convention the value of a belief is the
+// minimum over vectors of the inner product:
+//
+//	V(b) = min_alpha alpha . b.
+type AlphaVector struct {
+	// Values has one entry per state.
+	Values []float64
+	// Action is the greedy action associated with this vector.
+	Action int
+}
+
+// dot returns the inner product of the vector with a belief.
+func (v AlphaVector) dot(b []float64) float64 {
+	s := 0.0
+	for i, x := range v.Values {
+		s += x * b[i]
+	}
+	return s
+}
+
+// ValueAt evaluates the piecewise-linear value function at belief b and
+// returns the minimizing value and the greedy action.
+func ValueAt(vectors []AlphaVector, b []float64) (float64, int) {
+	best := math.Inf(1)
+	action := 0
+	for _, v := range vectors {
+		if d := v.dot(b); d < best {
+			best = d
+			action = v.Action
+		}
+	}
+	return best, action
+}
+
+// pointwiseDominates reports whether u is at least as good as w everywhere
+// (u <= w componentwise), i.e. w is never needed when u is present.
+func pointwiseDominates(u, w AlphaVector) bool {
+	for i := range u.Values {
+		if u.Values[i] > w.Values[i]+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// prunePointwise removes vectors that are pointwise dominated by another
+// vector in the set, and exact duplicates.
+func prunePointwise(vs []AlphaVector) []AlphaVector {
+	kept := make([]AlphaVector, 0, len(vs))
+outer:
+	for i, v := range vs {
+		for j, u := range vs {
+			if i == j {
+				continue
+			}
+			if pointwiseDominates(u, v) {
+				// Break ties by index so exactly one copy of duplicates
+				// survives.
+				if !pointwiseDominates(v, u) || j < i {
+					continue outer
+				}
+			}
+		}
+		kept = append(kept, v)
+	}
+	return kept
+}
+
+// witnessLP checks whether candidate v is useful against the set kept: it
+// solves
+//
+//	max d  s.t.  (u - v) . b >= d  for all u in kept,  b in the simplex,
+//
+// and returns the witness belief where v is strictly better if d > tol.
+func witnessLP(v AlphaVector, kept []AlphaVector) ([]float64, bool, error) {
+	n := len(v.Values)
+	if len(kept) == 0 {
+		b := make([]float64, n)
+		b[0] = 1
+		return b, true, nil
+	}
+	// Variables: b_0..b_{n-1}, dPlus, dMinus with d = dPlus - dMinus.
+	p, err := lp.NewProblem(n + 2)
+	if err != nil {
+		return nil, false, err
+	}
+	obj := make([]float64, n+2)
+	obj[n] = -1 // maximize d == minimize -d
+	obj[n+1] = 1
+	if err := p.SetObjective(obj); err != nil {
+		return nil, false, err
+	}
+	// Simplex constraint.
+	simplex := make([]float64, n+2)
+	for i := 0; i < n; i++ {
+		simplex[i] = 1
+	}
+	if err := p.AddEq(simplex, 1); err != nil {
+		return nil, false, err
+	}
+	// (u - v) . b - d >= 0 for each kept vector.
+	for _, u := range kept {
+		row := make([]float64, n+2)
+		for i := 0; i < n; i++ {
+			row[i] = u.Values[i] - v.Values[i]
+		}
+		row[n] = -1
+		row[n+1] = 1
+		if err := p.AddGe(row, 0); err != nil {
+			return nil, false, err
+		}
+	}
+	// Keep both halves of d bounded so the LP is never unbounded.
+	boundPlus := make([]float64, n+2)
+	boundPlus[n] = 1
+	if err := p.AddLe(boundPlus, 1e6); err != nil {
+		return nil, false, err
+	}
+	boundMinus := make([]float64, n+2)
+	boundMinus[n+1] = 1
+	if err := p.AddLe(boundMinus, 1e6); err != nil {
+		return nil, false, err
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, false, fmt.Errorf("pomdp: witness LP: %w", err)
+	}
+	d := sol.X[n] - sol.X[n+1]
+	witness := make([]float64, n)
+	copy(witness, sol.X[:n])
+	return witness, d > 1e-9, nil
+}
+
+// PruneLP reduces a set of alpha vectors to a minimal useful subset using
+// pointwise filtering followed by Lark's algorithm: for each candidate, an
+// LP searches for a belief where it beats every kept vector; if one exists,
+// the candidate that is best at that witness belief is promoted.
+func PruneLP(vs []AlphaVector) ([]AlphaVector, error) {
+	vs = prunePointwise(vs)
+	if len(vs) <= 1 {
+		return vs, nil
+	}
+	n := len(vs[0].Values)
+	var kept []AlphaVector
+
+	// Seed with the best vector at each simplex corner; this both
+	// guarantees a non-empty result and removes many candidates cheaply.
+	remaining := append([]AlphaVector(nil), vs...)
+	for s := 0; s < n; s++ {
+		corner := make([]float64, n)
+		corner[s] = 1
+		best := bestAt(remaining, corner)
+		if best >= 0 {
+			kept = append(kept, remaining[best])
+			remaining = append(remaining[:best], remaining[best+1:]...)
+		}
+	}
+	kept = prunePointwise(kept)
+
+	for len(remaining) > 0 {
+		v := remaining[len(remaining)-1]
+		witness, useful, err := witnessLP(v, kept)
+		if err != nil {
+			return nil, err
+		}
+		if !useful {
+			remaining = remaining[:len(remaining)-1]
+			continue
+		}
+		best := bestAt(remaining, witness)
+		kept = append(kept, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return kept, nil
+}
+
+// bestAt returns the index of the vector with the smallest value at belief
+// b, or -1 for an empty set.
+func bestAt(vs []AlphaVector, b []float64) int {
+	best := -1
+	bestVal := math.Inf(1)
+	for i, v := range vs {
+		if d := v.dot(b); d < bestVal-1e-12 {
+			bestVal = d
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,181 @@
+package pomdp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrNotConverged is returned by SolveInfinite when the value function has
+// not stabilized within the configured budget — the outcome the paper
+// reports for IP at Delta_R = infinity (Table 2, bottom row).
+var ErrNotConverged = errors.New("pomdp: incremental pruning did not converge")
+
+// IncrementalPruning is the exact dynamic-programming POMDP solver of
+// Cassandra et al. used as the IP baseline in Table 2. Each backup computes
+// the cross-sum of observation-conditioned vector sets with LP pruning after
+// every pairwise cross-sum.
+type IncrementalPruning struct {
+	// MaxVectors caps the vector set per backup; when exceeded the solver
+	// falls back on keeping the lexicographically best vectors after LP
+	// pruning. Zero means unlimited.
+	MaxVectors int
+	// Discount applied between stages; 1 for the finite-horizon problems
+	// (the node POMDP is transient through the crash state).
+	Discount float64
+	// TimeBudget bounds SolveInfinite; zero means no bound.
+	TimeBudget time.Duration
+}
+
+// Backup performs one exact DP backup: given the next-stage vector set, it
+// returns the current-stage set.
+func (ip *IncrementalPruning) Backup(m *Model, next []AlphaVector) ([]AlphaVector, error) {
+	gamma := ip.Discount
+	if gamma == 0 {
+		gamma = 1
+	}
+	var all []AlphaVector
+	for a := 0; a < m.NumActions; a++ {
+		// Gamma^{a,o}: project each next-stage vector through (T, Z) and
+		// include the action cost split across observations.
+		perObs := make([][]AlphaVector, m.NumObs)
+		for o := 0; o < m.NumObs; o++ {
+			set := make([]AlphaVector, 0, len(next))
+			for _, alpha := range next {
+				vals := make([]float64, m.NumStates)
+				for s := 0; s < m.NumStates; s++ {
+					sum := 0.0
+					for s2 := 0; s2 < m.NumStates; s2++ {
+						sum += m.T[a][s][s2] * m.Z[s2][o] * alpha.Values[s2]
+					}
+					vals[s] = m.C[s][a]/float64(m.NumObs) + gamma*sum
+				}
+				set = append(set, AlphaVector{Values: vals, Action: a})
+			}
+			pruned, err := PruneLP(set)
+			if err != nil {
+				return nil, fmt.Errorf("pomdp: backup action %d obs %d: %w", a, o, err)
+			}
+			perObs[o] = pruned
+		}
+		// Incremental cross-sum with pruning after each pair.
+		acc := perObs[0]
+		for o := 1; o < m.NumObs; o++ {
+			acc = crossSum(acc, perObs[o], a)
+			pruned, err := PruneLP(acc)
+			if err != nil {
+				return nil, fmt.Errorf("pomdp: cross-sum action %d obs %d: %w", a, o, err)
+			}
+			acc = pruned
+			if ip.MaxVectors > 0 && len(acc) > ip.MaxVectors {
+				acc = acc[:ip.MaxVectors]
+			}
+		}
+		all = append(all, acc...)
+	}
+	pruned, err := PruneLP(all)
+	if err != nil {
+		return nil, fmt.Errorf("pomdp: final prune: %w", err)
+	}
+	if ip.MaxVectors > 0 && len(pruned) > ip.MaxVectors {
+		pruned = pruned[:ip.MaxVectors]
+	}
+	return pruned, nil
+}
+
+func crossSum(a, b []AlphaVector, action int) []AlphaVector {
+	out := make([]AlphaVector, 0, len(a)*len(b))
+	for _, u := range a {
+		for _, v := range b {
+			vals := make([]float64, len(u.Values))
+			for i := range vals {
+				vals[i] = u.Values[i] + v.Values[i]
+			}
+			out = append(out, AlphaVector{Values: vals, Action: action})
+		}
+	}
+	return out
+}
+
+// SolveFiniteHorizon runs horizon backups starting from the zero value
+// function and returns the vector sets per stage; index t holds the value
+// function with t steps to go (index 0 is the terminal zero function).
+func (ip *IncrementalPruning) SolveFiniteHorizon(m *Model, horizon int) ([][]AlphaVector, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("pomdp: horizon %d < 1", horizon)
+	}
+	stages := make([][]AlphaVector, horizon+1)
+	stages[0] = []AlphaVector{{Values: make([]float64, m.NumStates), Action: 0}}
+	for t := 1; t <= horizon; t++ {
+		next, err := ip.Backup(m, stages[t-1])
+		if err != nil {
+			return nil, err
+		}
+		stages[t] = next
+	}
+	return stages, nil
+}
+
+// SolveInfinite iterates backups until the value function changes less than
+// tol on a belief grid, or until maxIter/TimeBudget is exhausted, in which
+// case it returns the current vectors wrapped with ErrNotConverged.
+func (ip *IncrementalPruning) SolveInfinite(m *Model, tol float64, maxIter int) ([]AlphaVector, int, error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	grid := beliefGrid(m.NumStates, 12)
+	current := []AlphaVector{{Values: make([]float64, m.NumStates), Action: 0}}
+	start := time.Now()
+	for it := 1; it <= maxIter; it++ {
+		next, err := ip.Backup(m, current)
+		if err != nil {
+			return nil, it, err
+		}
+		diff := 0.0
+		for _, b := range grid {
+			v0, _ := ValueAt(current, b)
+			v1, _ := ValueAt(next, b)
+			if d := v1 - v0; d > diff {
+				diff = d
+			} else if -d > diff {
+				diff = -d
+			}
+		}
+		current = next
+		if diff < tol {
+			return current, it, nil
+		}
+		if ip.TimeBudget > 0 && time.Since(start) > ip.TimeBudget {
+			return current, it, ErrNotConverged
+		}
+	}
+	return current, maxIter, ErrNotConverged
+}
+
+// beliefGrid enumerates beliefs on a regular simplex grid with the given
+// resolution (number of subdivisions).
+func beliefGrid(states, resolution int) [][]float64 {
+	var out [][]float64
+	point := make([]int, states)
+	var rec func(dim, remaining int)
+	rec = func(dim, remaining int) {
+		if dim == states-1 {
+			point[dim] = remaining
+			b := make([]float64, states)
+			for i, v := range point {
+				b[i] = float64(v) / float64(resolution)
+			}
+			out = append(out, b)
+			return
+		}
+		for v := 0; v <= remaining; v++ {
+			point[dim] = v
+			rec(dim+1, remaining-v)
+		}
+	}
+	rec(0, resolution)
+	return out
+}

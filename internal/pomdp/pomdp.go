@@ -1,0 +1,169 @@
+// Package pomdp implements finite partially observed Markov decision
+// processes with the cost-minimization convention of the paper: belief
+// updates (Appendix A), alpha-vector value functions (Fig 4), exact
+// finite-horizon backups, and the incremental-pruning solver used as the IP
+// baseline in Table 2.
+package pomdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrInvalidModel is returned when a model fails validation.
+var ErrInvalidModel = errors.New("pomdp: invalid model")
+
+// Model is a finite POMDP. Transitions are indexed [action][state][next
+// state]; observations are emitted by the successor state, Z[next state]
+// [observation], matching eq. (3) of the paper; costs are C[state][action].
+type Model struct {
+	NumStates  int
+	NumActions int
+	NumObs     int
+	// T[a][s][s'] = P[s' | s, a], eq. (1)-(2).
+	T [][][]float64
+	// Z[s'][o] = P[o | s'], eq. (3).
+	Z [][]float64
+	// C[s][a] is the immediate cost, eq. (5).
+	C [][]float64
+}
+
+// Validate checks dimensions and stochasticity of T and Z.
+func (m *Model) Validate() error {
+	if m.NumStates < 1 || m.NumActions < 1 || m.NumObs < 1 {
+		return fmt.Errorf("%w: dimensions %d/%d/%d", ErrInvalidModel,
+			m.NumStates, m.NumActions, m.NumObs)
+	}
+	if len(m.T) != m.NumActions {
+		return fmt.Errorf("%w: T has %d actions", ErrInvalidModel, len(m.T))
+	}
+	for a := range m.T {
+		if len(m.T[a]) != m.NumStates {
+			return fmt.Errorf("%w: T[%d] has %d states", ErrInvalidModel, a, len(m.T[a]))
+		}
+		for s := range m.T[a] {
+			if len(m.T[a][s]) != m.NumStates {
+				return fmt.Errorf("%w: T[%d][%d] has %d entries", ErrInvalidModel, a, s, len(m.T[a][s]))
+			}
+			sum := 0.0
+			for s2, p := range m.T[a][s] {
+				if p < 0 || math.IsNaN(p) {
+					return fmt.Errorf("%w: T[%d][%d][%d] = %v", ErrInvalidModel, a, s, s2, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return fmt.Errorf("%w: T[%d][%d] sums to %v", ErrInvalidModel, a, s, sum)
+			}
+		}
+	}
+	if len(m.Z) != m.NumStates {
+		return fmt.Errorf("%w: Z has %d states", ErrInvalidModel, len(m.Z))
+	}
+	for s := range m.Z {
+		if len(m.Z[s]) != m.NumObs {
+			return fmt.Errorf("%w: Z[%d] has %d entries", ErrInvalidModel, s, len(m.Z[s]))
+		}
+		sum := 0.0
+		for o, p := range m.Z[s] {
+			if p < 0 || math.IsNaN(p) {
+				return fmt.Errorf("%w: Z[%d][%d] = %v", ErrInvalidModel, s, o, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("%w: Z[%d] sums to %v", ErrInvalidModel, s, sum)
+		}
+	}
+	if len(m.C) != m.NumStates {
+		return fmt.Errorf("%w: C has %d states", ErrInvalidModel, len(m.C))
+	}
+	for s := range m.C {
+		if len(m.C[s]) != m.NumActions {
+			return fmt.Errorf("%w: C[%d] has %d entries", ErrInvalidModel, s, len(m.C[s]))
+		}
+	}
+	return nil
+}
+
+// UpdateBelief performs the Bayesian belief update of Appendix A:
+//
+//	b'(s') ∝ Z(o | s') * sum_s b(s) T[a][s][s'].
+//
+// It returns the posterior belief and the prior probability of the
+// observation P[o | b, a] (the normalizer). If the observation has zero
+// probability under the model an error is returned.
+func (m *Model) UpdateBelief(b []float64, a, o int) ([]float64, float64, error) {
+	if len(b) != m.NumStates {
+		return nil, 0, fmt.Errorf("pomdp: belief length %d, want %d", len(b), m.NumStates)
+	}
+	if a < 0 || a >= m.NumActions || o < 0 || o >= m.NumObs {
+		return nil, 0, fmt.Errorf("pomdp: action %d / observation %d out of range", a, o)
+	}
+	next := make([]float64, m.NumStates)
+	norm := 0.0
+	for s2 := 0; s2 < m.NumStates; s2++ {
+		pred := 0.0
+		for s := 0; s < m.NumStates; s++ {
+			if b[s] == 0 {
+				continue
+			}
+			pred += b[s] * m.T[a][s][s2]
+		}
+		v := m.Z[s2][o] * pred
+		next[s2] = v
+		norm += v
+	}
+	if norm <= 0 {
+		return nil, 0, fmt.Errorf("pomdp: observation %d has zero probability under belief", o)
+	}
+	for s2 := range next {
+		next[s2] /= norm
+	}
+	return next, norm, nil
+}
+
+// ObservationProb returns P[o | b, a] without computing the posterior.
+func (m *Model) ObservationProb(b []float64, a, o int) float64 {
+	p := 0.0
+	for s2 := 0; s2 < m.NumStates; s2++ {
+		pred := 0.0
+		for s := 0; s < m.NumStates; s++ {
+			pred += b[s] * m.T[a][s][s2]
+		}
+		p += m.Z[s2][o] * pred
+	}
+	return p
+}
+
+// ExpectedCost returns sum_s b(s) C[s][a].
+func (m *Model) ExpectedCost(b []float64, a int) float64 {
+	c := 0.0
+	for s, bs := range b {
+		c += bs * m.C[s][a]
+	}
+	return c
+}
+
+// SampleStep draws the successor state, the emitted observation, and the
+// incurred cost for taking action a in state s.
+func (m *Model) SampleStep(rng *rand.Rand, s, a int) (next, obs int, cost float64) {
+	cost = m.C[s][a]
+	next = sampleRow(rng, m.T[a][s])
+	obs = sampleRow(rng, m.Z[next])
+	return next, obs, cost
+}
+
+func sampleRow(rng *rand.Rand, row []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range row {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(row) - 1
+}

@@ -1,0 +1,378 @@
+package pomdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tigerModel returns the classic two-state tiger POMDP expressed as costs
+// (negated rewards), a standard correctness fixture for POMDP solvers.
+func tigerModel() *Model {
+	// States: 0 = tiger-left, 1 = tiger-right.
+	// Actions: 0 = listen (cost 1), 1 = open-left, 2 = open-right.
+	// Opening the tiger door costs 100, the other door -10.
+	listenT := [][]float64{{1, 0}, {0, 1}}
+	resetT := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	return &Model{
+		NumStates:  2,
+		NumActions: 3,
+		NumObs:     2,
+		T:          [][][]float64{listenT, resetT, resetT},
+		// Observations: hear-left/hear-right, 85% accurate after listening.
+		Z: [][]float64{{0.85, 0.15}, {0.15, 0.85}},
+		C: [][]float64{
+			{1, 100, -10},
+			{1, -10, 100},
+		},
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := tigerModel()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := tigerModel()
+	bad.T[0][0][0] = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("non-stochastic T should fail")
+	}
+	bad2 := tigerModel()
+	bad2.Z[0] = []float64{0.5, 0.4}
+	if err := bad2.Validate(); err == nil {
+		t.Error("non-stochastic Z should fail")
+	}
+	bad3 := tigerModel()
+	bad3.C = bad3.C[:1]
+	if err := bad3.Validate(); err == nil {
+		t.Error("wrong cost dimensions should fail")
+	}
+	empty := &Model{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty model should fail")
+	}
+}
+
+func TestUpdateBeliefBayes(t *testing.T) {
+	m := tigerModel()
+	b := []float64{0.5, 0.5}
+	// Listening and hearing "left" shifts belief toward tiger-left 85/15.
+	post, norm, err := m.UpdateBelief(b, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post[0]-0.85) > 1e-12 {
+		t.Errorf("posterior = %v, want 0.85 on tiger-left", post)
+	}
+	if math.Abs(norm-0.5) > 1e-12 {
+		t.Errorf("normalizer = %v, want 0.5", norm)
+	}
+	// Two consistent observations compound the evidence.
+	post2, _, err := m.UpdateBelief(post, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.85 * 0.85 / (0.85*0.85 + 0.15*0.15)
+	if math.Abs(post2[0]-want) > 1e-12 {
+		t.Errorf("posterior after two obs = %v, want %v", post2[0], want)
+	}
+}
+
+func TestUpdateBeliefValidation(t *testing.T) {
+	m := tigerModel()
+	if _, _, err := m.UpdateBelief([]float64{1}, 0, 0); err == nil {
+		t.Error("wrong belief length should fail")
+	}
+	if _, _, err := m.UpdateBelief([]float64{0.5, 0.5}, 9, 0); err == nil {
+		t.Error("bad action should fail")
+	}
+	if _, _, err := m.UpdateBelief([]float64{0.5, 0.5}, 0, 9); err == nil {
+		t.Error("bad observation should fail")
+	}
+}
+
+// Property: posterior beliefs are valid distributions and the observation
+// normalizers sum to one over all observations.
+func TestBeliefUpdateProperty(t *testing.T) {
+	m := tigerModel()
+	f := func(raw uint16, act uint8) bool {
+		b0 := float64(raw) / 65535
+		b := []float64{b0, 1 - b0}
+		a := int(act) % m.NumActions
+		total := 0.0
+		for o := 0; o < m.NumObs; o++ {
+			post, norm, err := m.UpdateBelief(b, a, o)
+			if err != nil {
+				return false
+			}
+			sum := 0.0
+			for _, v := range post {
+				if v < -1e-12 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+			total += norm
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueAtPicksMinimum(t *testing.T) {
+	vs := []AlphaVector{
+		{Values: []float64{0, 10}, Action: 1},
+		{Values: []float64{10, 0}, Action: 2},
+		{Values: []float64{4, 4}, Action: 0},
+	}
+	v, a := ValueAt(vs, []float64{1, 0})
+	if v != 0 || a != 1 {
+		t.Errorf("ValueAt(e0) = %v/%d, want 0/action 1", v, a)
+	}
+	v, a = ValueAt(vs, []float64{0.5, 0.5})
+	if v != 4 || a != 0 {
+		t.Errorf("ValueAt(mid) = %v/%d, want 4/action 0", v, a)
+	}
+}
+
+func TestPruneLPRemovesDominated(t *testing.T) {
+	vs := []AlphaVector{
+		{Values: []float64{0, 10}, Action: 0},
+		{Values: []float64{10, 0}, Action: 1},
+		{Values: []float64{6, 6}, Action: 2},  // dominated by the hull? useful at center: min(0*b... ) at b=0.5: 5 < 6, so dominated.
+		{Values: []float64{1, 11}, Action: 3}, // pointwise dominated by vector 0
+	}
+	kept, err := PruneLP(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 2 {
+		t.Fatalf("kept %d vectors, want 2: %+v", len(kept), kept)
+	}
+	for _, v := range kept {
+		if v.Action != 0 && v.Action != 1 {
+			t.Errorf("unexpected surviving vector %+v", v)
+		}
+	}
+}
+
+func TestPruneLPKeepsUsefulMiddleVector(t *testing.T) {
+	vs := []AlphaVector{
+		{Values: []float64{0, 10}, Action: 0},
+		{Values: []float64{10, 0}, Action: 1},
+		{Values: []float64{3, 3}, Action: 2}, // best near the middle
+	}
+	kept, err := PruneLP(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept %d vectors, want 3", len(kept))
+	}
+}
+
+func TestPruneLPSingleton(t *testing.T) {
+	vs := []AlphaVector{{Values: []float64{1, 2}, Action: 0}}
+	kept, err := PruneLP(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 {
+		t.Fatalf("kept %d, want 1", len(kept))
+	}
+}
+
+// Property: pruning never changes the value function on a belief grid.
+func TestPruneLPPreservesValueProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		vs := make([]AlphaVector, n)
+		for i := range vs {
+			vs[i] = AlphaVector{
+				Values: []float64{r.Float64() * 10, r.Float64() * 10},
+				Action: i % 2,
+			}
+		}
+		kept, err := PruneLP(vs)
+		if err != nil {
+			return false
+		}
+		if len(kept) == 0 || len(kept) > n {
+			return false
+		}
+		for g := 0; g <= 20; g++ {
+			b := []float64{float64(g) / 20, 1 - float64(g)/20}
+			v0, _ := ValueAt(vs, b)
+			v1, _ := ValueAt(kept, b)
+			if math.Abs(v0-v1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncrementalPruningTigerOneStep(t *testing.T) {
+	// With one step to go the optimal tiger policy is: open the low-risk
+	// door when confident, otherwise the cheapest action. The value at the
+	// uniform belief must equal min(listen=1, open=45) = 1.
+	m := tigerModel()
+	ip := &IncrementalPruning{}
+	stages, err := ip.SolveFiniteHorizon(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, a := ValueAt(stages[1], []float64{0.5, 0.5})
+	if math.Abs(v-1) > 1e-9 || a != 0 {
+		t.Errorf("V1(uniform) = %v action %d, want 1/listen", v, a)
+	}
+	// Certain beliefs: opening the safe door yields -10.
+	v, a = ValueAt(stages[1], []float64{1, 0})
+	if math.Abs(v-(-10)) > 1e-9 || a != 2 {
+		t.Errorf("V1(e0) = %v action %d, want -10/open-right", v, a)
+	}
+}
+
+func TestIncrementalPruningTigerMultiStep(t *testing.T) {
+	// Multi-step: listening first must be at least as good as acting
+	// immediately, and the value function must be concave-ish piecewise
+	// linear (here: min of linear pieces).
+	m := tigerModel()
+	ip := &IncrementalPruning{}
+	stages, err := ip.SolveFiniteHorizon(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, _ := ValueAt(stages[4], []float64{0.5, 0.5})
+	v1, _ := ValueAt(stages[1], []float64{0.5, 0.5})
+	// More steps cannot make the uniform belief cheaper than acting once…
+	// costs accumulate, so V4 >= V1 is NOT required; instead verify the
+	// greedy first action at the uniform belief is still to listen.
+	_, a := ValueAt(stages[4], []float64{0.5, 0.5})
+	if a != 0 {
+		t.Errorf("greedy action at uniform = %d, want listen", a)
+	}
+	_ = v4
+	_ = v1
+	// Value monotone in belief extremes: certainty is never worse than
+	// uncertainty for the same horizon.
+	vc, _ := ValueAt(stages[4], []float64{1, 0})
+	vu, _ := ValueAt(stages[4], []float64{0.5, 0.5})
+	if vc > vu+1e-9 {
+		t.Errorf("certain belief value %v worse than uniform %v", vc, vu)
+	}
+}
+
+func TestIncrementalPruningVectorCap(t *testing.T) {
+	m := tigerModel()
+	ip := &IncrementalPruning{MaxVectors: 3}
+	stages, err := ip.SolveFiniteHorizon(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt, set := range stages {
+		if tt > 0 && len(set) > 3 {
+			t.Errorf("stage %d has %d vectors, cap 3", tt, len(set))
+		}
+	}
+}
+
+func TestSolveFiniteHorizonValidation(t *testing.T) {
+	ip := &IncrementalPruning{}
+	if _, err := ip.SolveFiniteHorizon(&Model{}, 3); err == nil {
+		t.Error("invalid model should fail")
+	}
+	if _, err := ip.SolveFiniteHorizon(tigerModel(), 0); err == nil {
+		t.Error("horizon 0 should fail")
+	}
+}
+
+func TestSolveInfiniteDiscountedConverges(t *testing.T) {
+	m := tigerModel()
+	ip := &IncrementalPruning{Discount: 0.75, MaxVectors: 24}
+	vectors, iters, err := ip.SolveInfinite(m, 1e-4, 200)
+	if err != nil {
+		t.Fatalf("after %d iters: %v", iters, err)
+	}
+	if len(vectors) == 0 {
+		t.Fatal("no vectors")
+	}
+	// Discounted tiger value at certainty: open safe door forever:
+	// -10 + 0.75 * V(uniform-reset)… just require finiteness and the
+	// optimal uniform action to be listen.
+	_, a := ValueAt(vectors, []float64{0.5, 0.5})
+	if a != 0 {
+		t.Errorf("uniform greedy action = %d, want listen", a)
+	}
+}
+
+func TestSampleStepRespectsModel(t *testing.T) {
+	m := tigerModel()
+	rng := rand.New(rand.NewSource(5))
+	// Listening never changes the state.
+	for i := 0; i < 100; i++ {
+		next, obs, cost := m.SampleStep(rng, 0, 0)
+		if next != 0 {
+			t.Fatal("listen changed the state")
+		}
+		if obs < 0 || obs >= m.NumObs {
+			t.Fatal("observation out of range")
+		}
+		if cost != 1 {
+			t.Fatalf("listen cost = %v, want 1", cost)
+		}
+	}
+}
+
+func TestObservationProbConsistency(t *testing.T) {
+	m := tigerModel()
+	b := []float64{0.3, 0.7}
+	for a := 0; a < m.NumActions; a++ {
+		total := 0.0
+		for o := 0; o < m.NumObs; o++ {
+			total += m.ObservationProb(b, a, o)
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("action %d: observation probs sum to %v", a, total)
+		}
+	}
+}
+
+func TestExpectedCost(t *testing.T) {
+	m := tigerModel()
+	got := m.ExpectedCost([]float64{0.5, 0.5}, 1)
+	if math.Abs(got-45) > 1e-12 {
+		t.Errorf("expected cost = %v, want 45", got)
+	}
+}
+
+func TestBeliefGridCoverage(t *testing.T) {
+	grid := beliefGrid(3, 4)
+	// C(4+2, 2) = 15 points.
+	if len(grid) != 15 {
+		t.Fatalf("grid size = %d, want 15", len(grid))
+	}
+	for _, b := range grid {
+		sum := 0.0
+		for _, v := range b {
+			if v < 0 {
+				t.Fatal("negative belief coordinate")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("grid point sums to %v", sum)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package ppo implements Proximal Policy Optimization (the paper's [73]
+// baseline in Table 2) for Problem 1: a stochastic recovery policy over the
+// belief state trained with the clipped surrogate objective, GAE(lambda)
+// advantages, and the Table 8 hyperparameters (4 layers, 64 ReLU units,
+// clip 0.2, GAE lambda 0.95, entropy coefficient 1e-4).
+package ppo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"tolerance/internal/nn"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/opt"
+	"tolerance/internal/recovery"
+)
+
+// ErrBadConfig is returned for invalid training configurations.
+var ErrBadConfig = errors.New("ppo: bad config")
+
+// Config holds PPO training hyperparameters.
+type Config struct {
+	// DeltaR is the BTR bound of the environment.
+	DeltaR int
+	// Iterations is the number of rollout/update cycles.
+	Iterations int
+	// StepsPerIteration is the rollout length per cycle.
+	StepsPerIteration int
+	// Horizon of each episode.
+	Horizon int
+	// Epochs per update (default 4).
+	Epochs int
+	// ClipEpsilon is the PPO clip range (Table 8: 0.2).
+	ClipEpsilon float64
+	// Gamma is the discount used as an average-cost proxy (default 0.99).
+	Gamma float64
+	// GAELambda is the advantage-estimation decay (Table 8: 0.95).
+	GAELambda float64
+	// EntropyCoef weighs the entropy bonus (Table 8: 1e-4).
+	EntropyCoef float64
+	// LearningRate for both networks (default 3e-4; Table 8 lists 1e-5,
+	// which needs far more iterations than the test budget).
+	LearningRate float64
+	// Hidden is the hidden width (Table 8: 64) and Layers the number of
+	// hidden layers (Table 8: 4).
+	Hidden, Layers int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 30
+	}
+	if c.StepsPerIteration <= 0 {
+		c.StepsPerIteration = 1024
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 200
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 4
+	}
+	if c.ClipEpsilon <= 0 {
+		c.ClipEpsilon = 0.2
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.99
+	}
+	if c.GAELambda <= 0 {
+		c.GAELambda = 0.95
+	}
+	if c.EntropyCoef < 0 {
+		c.EntropyCoef = 1e-4
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 3e-4
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 64
+	}
+	if c.Layers <= 0 {
+		c.Layers = 2
+	}
+	return c
+}
+
+// Policy is a trained PPO policy; it implements recovery.Strategy with a
+// deterministic (mode) action rule.
+type Policy struct {
+	net    *nn.MLP
+	deltaR int
+}
+
+var _ recovery.Strategy = (*Policy)(nil)
+
+// features maps (belief, window position) to the network input.
+func (p *Policy) features(belief float64, windowPos int) []float64 {
+	frac := 0.0
+	if p.deltaR != recovery.InfiniteDeltaR {
+		frac = float64(windowPos%p.deltaR) / float64(p.deltaR)
+	}
+	return []float64{belief, frac}
+}
+
+// Probabilities returns the action distribution (P[Wait], P[Recover]).
+func (p *Policy) Probabilities(belief float64, windowPos int) []float64 {
+	return nn.Softmax(p.net.Forward(p.features(belief, windowPos)))
+}
+
+// Action implements recovery.Strategy: recover when it is the mode action.
+func (p *Policy) Action(belief float64, windowPos int) nodemodel.Action {
+	probs := p.Probabilities(belief, windowPos)
+	if probs[1] >= 0.5 {
+		return nodemodel.Recover
+	}
+	return nodemodel.Wait
+}
+
+// Result reports the trained policy and the learning trace.
+type Result struct {
+	// Policy is the trained strategy.
+	Policy *Policy
+	// Cost is the final Monte-Carlo estimate of J_i under the policy.
+	Cost float64
+	// Trace records the evaluation cost after each iteration, in the same
+	// format as the parametric optimizers for Fig 7.
+	Trace []opt.TracePoint
+	// Elapsed is the wall-clock training time.
+	Elapsed time.Duration
+}
+
+// Train runs PPO on the node-recovery environment and returns the policy.
+func Train(params nodemodel.Params, cfg Config) (*Result, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DeltaR < 0 {
+		return nil, fmt.Errorf("%w: deltaR = %d", ErrBadConfig, cfg.DeltaR)
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sizes := []int{2}
+	for l := 0; l < cfg.Layers; l++ {
+		sizes = append(sizes, cfg.Hidden)
+	}
+	policySizes := append(append([]int(nil), sizes...), 2)
+	valueSizes := append(append([]int(nil), sizes...), 1)
+	policyNet, err := nn.NewMLP(rng, nn.ReLU, policySizes...)
+	if err != nil {
+		return nil, err
+	}
+	valueNet, err := nn.NewMLP(rng, nn.ReLU, valueSizes...)
+	if err != nil {
+		return nil, err
+	}
+	policy := &Policy{net: policyNet, deltaR: cfg.DeltaR}
+	policyOpt := &nn.Adam{LR: cfg.LearningRate}
+	valueOpt := &nn.Adam{LR: cfg.LearningRate}
+
+	start := time.Now()
+	res := &Result{Policy: policy}
+	best := math.Inf(1)
+	evals := 0
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		batch := collectRollout(rng, params, policy, cfg)
+		if err := update(policyNet, valueNet, policyOpt, valueOpt, batch, cfg); err != nil {
+			return nil, err
+		}
+		evals += len(batch.obs)
+		cost := evaluatePolicy(rng, params, policy, cfg)
+		if cost < best {
+			best = cost
+			res.Trace = append(res.Trace, opt.TracePoint{
+				Evaluations: evals,
+				Elapsed:     time.Since(start),
+				Best:        cost,
+			})
+		}
+	}
+	res.Cost = evaluatePolicy(rng, params, policy, cfg)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// rollout holds one batch of on-policy experience.
+type rollout struct {
+	obs        [][]float64
+	actions    []int
+	logProbs   []float64
+	rewards    []float64
+	values     []float64
+	terminal   []bool
+	advantages []float64
+	returns    []float64
+}
+
+// collectRollout gathers StepsPerIteration decision steps from fresh
+// episodes of the node environment (same dynamics as recovery.Evaluate).
+func collectRollout(rng *rand.Rand, params nodemodel.Params, policy *Policy, cfg Config) *rollout {
+	b := &rollout{}
+	for len(b.obs) < cfg.StepsPerIteration {
+		runPPOEpisode(rng, params, policy, cfg, b)
+	}
+	return b
+}
+
+// runPPOEpisode plays one episode, appending decision steps to the batch.
+// Rewards are negative costs (eq. 5).
+func runPPOEpisode(rng *rand.Rand, params nodemodel.Params, policy *Policy, cfg Config, b *rollout) {
+	state := nodemodel.Healthy
+	if rng.Float64() < params.PA {
+		state = nodemodel.Compromised
+	}
+	belief := params.PA
+	obs := params.SampleObservation(rng, state)
+	belief = posterior(params, belief, obs)
+
+	for t := 1; t <= cfg.Horizon; t++ {
+		windowPos := t
+		forced := false
+		if cfg.DeltaR != recovery.InfiniteDeltaR {
+			windowPos = t % cfg.DeltaR
+			forced = windowPos == 0
+		}
+		var action nodemodel.Action
+		if forced {
+			action = nodemodel.Recover
+		} else {
+			features := policy.features(belief, windowPos)
+			probs := nn.Softmax(policy.net.Forward(features))
+			a := 0
+			if rng.Float64() < probs[1] {
+				a = 1
+			}
+			action = nodemodel.Action(a)
+			b.obs = append(b.obs, features)
+			b.actions = append(b.actions, a)
+			b.logProbs = append(b.logProbs, math.Log(probs[a]+1e-12))
+			b.values = append(b.values, 0) // refreshed by computeGAE
+			b.rewards = append(b.rewards, -params.Cost(state, action))
+			b.terminal = append(b.terminal, false)
+		}
+
+		state = params.SampleTransition(rng, state, action)
+		if state == nodemodel.Crashed {
+			if n := len(b.terminal); n > 0 {
+				b.terminal[n-1] = true
+			}
+			return
+		}
+		o := params.SampleObservation(rng, state)
+		belief = params.UpdateBelief(belief, action, o)
+	}
+	if n := len(b.terminal); n > 0 {
+		b.terminal[n-1] = true
+	}
+}
+
+// posterior applies the observation update only (first step of an episode).
+func posterior(p nodemodel.Params, prior float64, obs int) float64 {
+	zc := p.ZCompromised.Prob(obs)
+	zh := p.ZHealthy.Prob(obs)
+	num := zc * prior
+	den := num + zh*(1-prior)
+	if den <= 0 {
+		return prior
+	}
+	return num / den
+}
+
+// computeGAE fills advantages and returns using the critic.
+func computeGAE(valueNet *nn.MLP, b *rollout, cfg Config) {
+	n := len(b.obs)
+	for i := 0; i < n; i++ {
+		b.values[i] = valueNet.Forward(b.obs[i])[0]
+	}
+	b.advantages = make([]float64, n)
+	b.returns = make([]float64, n)
+	gae := 0.0
+	for i := n - 1; i >= 0; i-- {
+		var nextValue float64
+		if !b.terminal[i] && i+1 < n {
+			nextValue = b.values[i+1]
+		}
+		delta := b.rewards[i] + cfg.Gamma*nextValue - b.values[i]
+		if b.terminal[i] {
+			gae = delta
+		} else {
+			gae = delta + cfg.Gamma*cfg.GAELambda*gae
+		}
+		b.advantages[i] = gae
+		b.returns[i] = gae + b.values[i]
+	}
+	// Normalize advantages.
+	mean, std := 0.0, 0.0
+	for _, a := range b.advantages {
+		mean += a
+	}
+	mean /= float64(n)
+	for _, a := range b.advantages {
+		d := a - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(n))
+	if std < 1e-8 {
+		std = 1
+	}
+	for i := range b.advantages {
+		b.advantages[i] = (b.advantages[i] - mean) / std
+	}
+}
+
+// update performs the clipped-surrogate PPO update.
+func update(policyNet, valueNet *nn.MLP, policyOpt, valueOpt *nn.Adam, b *rollout, cfg Config) error {
+	computeGAE(valueNet, b, cfg)
+	n := len(b.obs)
+	pGrads := policyNet.NewGrads()
+	vGrads := valueNet.NewGrads()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		pGrads.Zero()
+		vGrads.Zero()
+		for i := 0; i < n; i++ {
+			// Policy gradient.
+			c := policyNet.ForwardCache(b.obs[i])
+			logits := c.Output()
+			probs := nn.Softmax(logits)
+			a := b.actions[i]
+			logProb := math.Log(probs[a] + 1e-12)
+			ratio := math.Exp(logProb - b.logProbs[i])
+			adv := b.advantages[i]
+			clipped := ratio
+			if clipped > 1+cfg.ClipEpsilon {
+				clipped = 1 + cfg.ClipEpsilon
+			} else if clipped < 1-cfg.ClipEpsilon {
+				clipped = 1 - cfg.ClipEpsilon
+			}
+			// Loss = -min(ratio*adv, clipped*adv); gradient flows through
+			// ratio only when it is the active (unclipped) branch.
+			useRatio := ratio*adv <= clipped*adv
+			dLogits := make([]float64, 2)
+			if useRatio {
+				// d(-ratio*adv)/dlogits = -adv*ratio * dlogpi/dlogits.
+				for k := 0; k < 2; k++ {
+					ind := 0.0
+					if k == a {
+						ind = 1
+					}
+					dLogits[k] = -adv * ratio * (ind - probs[k])
+				}
+			}
+			// Entropy bonus: maximize H => subtract coef * dH/dlogits.
+			if cfg.EntropyCoef > 0 {
+				for k := 0; k < 2; k++ {
+					// dH/dlogit_k = -p_k*(log p_k + H).
+					h := 0.0
+					for j := 0; j < 2; j++ {
+						h -= probs[j] * math.Log(probs[j]+1e-12)
+					}
+					dLogits[k] -= cfg.EntropyCoef * (-probs[k] * (math.Log(probs[k]+1e-12) + h))
+				}
+			}
+			policyNet.Backward(c, dLogits, pGrads)
+
+			// Value regression toward returns.
+			vc := valueNet.ForwardCache(b.obs[i])
+			v := vc.Output()[0]
+			dv := []float64{v - b.returns[i]}
+			valueNet.Backward(vc, dv, vGrads)
+		}
+		if err := policyOpt.Step(policyNet, pGrads, float64(n)); err != nil {
+			return err
+		}
+		if err := valueOpt.Step(valueNet, vGrads, float64(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evaluatePolicy estimates J_i of the current deterministic policy.
+func evaluatePolicy(rng *rand.Rand, params nodemodel.Params, policy *Policy, cfg Config) float64 {
+	m, err := recovery.Evaluate(rng, params, policy, recovery.SimConfig{
+		Episodes: 20,
+		Horizon:  cfg.Horizon,
+		DeltaR:   cfg.DeltaR,
+	})
+	if err != nil {
+		return math.Inf(1)
+	}
+	return m.AvgCost
+}

@@ -1,0 +1,116 @@
+package ppo
+
+import (
+	"math/rand"
+	"testing"
+
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+)
+
+func TestTrainValidation(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	if _, err := Train(p, Config{DeltaR: -1}); err == nil {
+		t.Error("negative deltaR should fail")
+	}
+	bad := p
+	bad.Eta = 0
+	if _, err := Train(bad, Config{}); err == nil {
+		t.Error("bad params should fail")
+	}
+}
+
+func TestTrainImprovesOverUntrained(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	res, err := Train(p, Config{
+		DeltaR:            recovery.InfiniteDeltaR,
+		Iterations:        15,
+		StepsPerIteration: 512,
+		Horizon:           120,
+		Hidden:            16,
+		Layers:            2,
+		LearningRate:      3e-3,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy == nil {
+		t.Fatal("nil policy")
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	// The trained policy should clearly beat never-recover (cost -> eta)
+	// and not be much worse than always-recover (cost 1).
+	rng := rand.New(rand.NewSource(50))
+	m, err := recovery.Evaluate(rng, p, res.Policy, recovery.SimConfig{
+		Episodes: 100, Horizon: 200, DeltaR: recovery.InfiniteDeltaR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgCost > 1.2 {
+		t.Errorf("PPO policy cost = %v, want < 1.2 (eta = %v)", m.AvgCost, p.Eta)
+	}
+}
+
+func TestPolicyActionConsistentWithProbabilities(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	res, err := Train(p, Config{
+		DeltaR:            recovery.InfiniteDeltaR,
+		Iterations:        2,
+		StepsPerIteration: 128,
+		Horizon:           60,
+		Hidden:            8,
+		Layers:            1,
+		Seed:              2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		probs := res.Policy.Probabilities(b, 1)
+		action := res.Policy.Action(b, 1)
+		wantRecover := probs[1] >= 0.5
+		gotRecover := action == nodemodel.Recover
+		if wantRecover != gotRecover {
+			t.Errorf("belief %v: action %v inconsistent with probs %v", b, action, probs)
+		}
+	}
+}
+
+func TestPolicyFeaturesWindowFraction(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	res, err := Train(p, Config{
+		DeltaR:            10,
+		Iterations:        2,
+		StepsPerIteration: 128,
+		Horizon:           60,
+		Hidden:            8,
+		Layers:            1,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Policy.features(0.5, 7)
+	if f[1] != 0.7 {
+		t.Errorf("window fraction = %v, want 0.7", f[1])
+	}
+	// Infinite deltaR uses zero fraction.
+	res.Policy.deltaR = recovery.InfiniteDeltaR
+	if res.Policy.features(0.5, 7)[1] != 0 {
+		t.Error("infinite deltaR should use zero window fraction")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ClipEpsilon != 0.2 || c.GAELambda != 0.95 || c.Gamma != 0.99 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if c.Hidden != 64 || c.Epochs != 4 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}

@@ -1,0 +1,619 @@
+// Package raft implements the Raft consensus protocol [54] (leader
+// election, log replication, commitment) over the repository's transport
+// layer. TOLERANCE runs its global system controller on a crash-tolerant
+// Raft group (§IV, §VII-C): the controller only executes control actions
+// and communicates with node controllers, so crash-stop tolerance suffices.
+package raft
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"tolerance/internal/transport"
+)
+
+// Errors returned by the node.
+var (
+	ErrBadConfig = errors.New("raft: bad config")
+	ErrNotLeader = errors.New("raft: not the leader")
+	ErrStopped   = errors.New("raft: node stopped")
+)
+
+// role is a node's current protocol role.
+type role int
+
+const (
+	follower role = iota + 1
+	candidate
+	leader
+)
+
+func (r role) String() string {
+	switch r {
+	case follower:
+		return "follower"
+	case candidate:
+		return "candidate"
+	case leader:
+		return "leader"
+	default:
+		return "unknown"
+	}
+}
+
+// Entry is one replicated log entry.
+type Entry struct {
+	Term    uint64 `json:"term"`
+	Command []byte `json:"command"`
+}
+
+// message types
+type raftMsgType string
+
+const (
+	typeRequestVote   raftMsgType = "request-vote"
+	typeVoteReply     raftMsgType = "vote-reply"
+	typeAppendEntries raftMsgType = "append-entries"
+	typeAppendReply   raftMsgType = "append-reply"
+)
+
+type raftEnvelope struct {
+	Type raftMsgType     `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+type requestVoteMsg struct {
+	Term         uint64 `json:"term"`
+	CandidateID  string `json:"candidateId"`
+	LastLogIndex uint64 `json:"lastLogIndex"`
+	LastLogTerm  uint64 `json:"lastLogTerm"`
+}
+
+type voteReplyMsg struct {
+	Term    uint64 `json:"term"`
+	From    string `json:"from"`
+	Granted bool   `json:"granted"`
+}
+
+type appendEntriesMsg struct {
+	Term         uint64  `json:"term"`
+	LeaderID     string  `json:"leaderId"`
+	PrevLogIndex uint64  `json:"prevLogIndex"`
+	PrevLogTerm  uint64  `json:"prevLogTerm"`
+	Entries      []Entry `json:"entries"`
+	LeaderCommit uint64  `json:"leaderCommit"`
+}
+
+type appendReplyMsg struct {
+	Term       uint64 `json:"term"`
+	From       string `json:"from"`
+	Success    bool   `json:"success"`
+	MatchIndex uint64 `json:"matchIndex"`
+}
+
+// Config configures one Raft node.
+type Config struct {
+	// ID is this node's identity (must be in Peers).
+	ID string
+	// Peers is the full membership including this node.
+	Peers []string
+	// Endpoint is the transport attachment.
+	Endpoint transport.Endpoint
+	// Apply is invoked sequentially with each committed command.
+	Apply func(index uint64, command []byte)
+	// ElectionTimeout is the base election timeout (default 200ms;
+	// randomized up to 2x).
+	ElectionTimeout time.Duration
+	// HeartbeatInterval is the leader's AppendEntries cadence (default
+	// ElectionTimeout/4).
+	HeartbeatInterval time.Duration
+	// Seed randomizes election timeouts.
+	Seed int64
+	// Logger receives traces; nil disables.
+	Logger *log.Logger
+}
+
+func (c *Config) validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("%w: empty id", ErrBadConfig)
+	}
+	if len(c.Peers) < 1 {
+		return fmt.Errorf("%w: no peers", ErrBadConfig)
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.ID {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: id not in peers", ErrBadConfig)
+	}
+	if c.Endpoint == nil {
+		return fmt.Errorf("%w: nil endpoint", ErrBadConfig)
+	}
+	return nil
+}
+
+// Node is one Raft participant.
+type Node struct {
+	cfg Config
+	rng *rand.Rand
+
+	mu          sync.Mutex
+	role        role
+	term        uint64
+	votedFor    string
+	log         []Entry // log[0] is a sentinel (index 0, term 0)
+	commitIndex uint64
+	lastApplied uint64
+	leaderID    string
+
+	// leader state
+	nextIndex  map[string]uint64
+	matchIndex map[string]uint64
+	// candidate state
+	votes map[string]bool
+
+	electionDeadline time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewNode starts a Raft node.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ElectionTimeout <= 0 {
+		cfg.ElectionTimeout = 200 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = cfg.ElectionTimeout / 4
+	}
+	// Mix the node ID into the seed so peers never share election jitter.
+	idMix := int64(0)
+	for _, b := range []byte(cfg.ID) {
+		idMix = idMix*131 + int64(b)
+	}
+	n := &Node{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed ^ idMix)),
+		role: follower,
+		log:  []Entry{{Term: 0}},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	n.resetElectionTimerLocked()
+	go n.run()
+	return n, nil
+}
+
+// Stop terminates the node.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	close(n.stop)
+	<-n.done
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// IsLeader reports whether this node currently leads.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == leader
+}
+
+// Leader returns the last known leader ID ("" if unknown).
+func (n *Node) Leader() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderID
+}
+
+// Term returns the current term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term
+}
+
+// CommitIndex returns the highest committed log index.
+func (n *Node) CommitIndex() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.commitIndex
+}
+
+// Propose appends a command to the replicated log. Only the leader accepts
+// proposals; followers return ErrNotLeader with the current leader hint.
+func (n *Node) Propose(command []byte) (uint64, error) {
+	n.mu.Lock()
+	if n.role != leader {
+		n.mu.Unlock()
+		return 0, ErrNotLeader
+	}
+	entry := Entry{Term: n.term, Command: append([]byte(nil), command...)}
+	n.log = append(n.log, entry)
+	index := uint64(len(n.log) - 1)
+	n.matchIndex[n.cfg.ID] = index
+	n.mu.Unlock()
+	n.broadcastAppendEntries()
+	// A single-node group (or one whose followers already match) commits
+	// immediately.
+	n.advanceCommit()
+	return index, nil
+}
+
+// run is the event loop.
+func (n *Node) run() {
+	defer close(n.done)
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	lastHeartbeat := time.Now()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case msg, ok := <-n.cfg.Endpoint.Receive():
+			if !ok {
+				return
+			}
+			n.handle(msg)
+		case now := <-ticker.C:
+			n.mu.Lock()
+			isLeader := n.role == leader
+			expired := now.After(n.electionDeadline)
+			n.mu.Unlock()
+			if isLeader {
+				if now.Sub(lastHeartbeat) >= n.cfg.HeartbeatInterval {
+					lastHeartbeat = now
+					n.broadcastAppendEntries()
+				}
+			} else if expired {
+				n.startElection()
+			}
+		}
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Printf("[raft %s t%d %s] "+format,
+			append([]any{n.cfg.ID, n.Term(), n.roleString()}, args...)...)
+	}
+}
+
+func (n *Node) roleString() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role.String()
+}
+
+func (n *Node) resetElectionTimerLocked() {
+	jitter := time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout)))
+	n.electionDeadline = time.Now().Add(n.cfg.ElectionTimeout + jitter)
+}
+
+// send marshals and ships a message.
+func (n *Node) send(to string, t raftMsgType, msg any) {
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return
+	}
+	payload, err := json.Marshal(raftEnvelope{Type: t, Data: data})
+	if err != nil {
+		return
+	}
+	_ = n.cfg.Endpoint.Send(to, payload)
+}
+
+// handle decodes and dispatches one inbound message.
+func (n *Node) handle(msg transport.Message) {
+	var env raftEnvelope
+	if err := json.Unmarshal(msg.Payload, &env); err != nil {
+		return
+	}
+	switch env.Type {
+	case typeRequestVote:
+		var m requestVoteMsg
+		if json.Unmarshal(env.Data, &m) == nil {
+			n.onRequestVote(&m)
+		}
+	case typeVoteReply:
+		var m voteReplyMsg
+		if json.Unmarshal(env.Data, &m) == nil {
+			n.onVoteReply(&m)
+		}
+	case typeAppendEntries:
+		var m appendEntriesMsg
+		if json.Unmarshal(env.Data, &m) == nil {
+			n.onAppendEntries(&m)
+		}
+	case typeAppendReply:
+		var m appendReplyMsg
+		if json.Unmarshal(env.Data, &m) == nil {
+			n.onAppendReply(&m)
+		}
+	}
+}
+
+// stepDownLocked adopts a higher term.
+func (n *Node) stepDownLocked(term uint64) {
+	n.term = term
+	n.role = follower
+	n.votedFor = ""
+	n.votes = nil
+	n.resetElectionTimerLocked()
+}
+
+// startElection transitions to candidate and solicits votes.
+func (n *Node) startElection() {
+	n.mu.Lock()
+	n.role = candidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.votes = map[string]bool{n.cfg.ID: true}
+	n.resetElectionTimerLocked()
+	term := n.term
+	lastIndex := uint64(len(n.log) - 1)
+	lastTerm := n.log[lastIndex].Term
+	peers := n.peersExceptSelf()
+	single := len(n.cfg.Peers) == 1
+	n.mu.Unlock()
+
+	n.logf("starting election for term %d", term)
+	if single {
+		n.maybeBecomeLeader(term)
+		return
+	}
+	req := requestVoteMsg{Term: term, CandidateID: n.cfg.ID, LastLogIndex: lastIndex, LastLogTerm: lastTerm}
+	for _, p := range peers {
+		n.send(p, typeRequestVote, req)
+	}
+}
+
+func (n *Node) peersExceptSelf() []string {
+	out := make([]string, 0, len(n.cfg.Peers)-1)
+	for _, p := range n.cfg.Peers {
+		if p != n.cfg.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// onRequestVote implements the voting rule with the log up-to-date check.
+func (n *Node) onRequestVote(m *requestVoteMsg) {
+	n.mu.Lock()
+	if m.Term > n.term {
+		n.stepDownLocked(m.Term)
+	}
+	granted := false
+	if m.Term == n.term && (n.votedFor == "" || n.votedFor == m.CandidateID) {
+		lastIndex := uint64(len(n.log) - 1)
+		lastTerm := n.log[lastIndex].Term
+		upToDate := m.LastLogTerm > lastTerm ||
+			(m.LastLogTerm == lastTerm && m.LastLogIndex >= lastIndex)
+		if upToDate {
+			granted = true
+			n.votedFor = m.CandidateID
+			n.resetElectionTimerLocked()
+		}
+	}
+	term := n.term
+	n.mu.Unlock()
+	n.send(m.CandidateID, typeVoteReply, voteReplyMsg{Term: term, From: n.cfg.ID, Granted: granted})
+}
+
+// onVoteReply tallies votes.
+func (n *Node) onVoteReply(m *voteReplyMsg) {
+	n.mu.Lock()
+	if m.Term > n.term {
+		n.stepDownLocked(m.Term)
+		n.mu.Unlock()
+		return
+	}
+	if n.role != candidate || m.Term != n.term || !m.Granted {
+		n.mu.Unlock()
+		return
+	}
+	n.votes[m.From] = true
+	count := len(n.votes)
+	term := n.term
+	n.mu.Unlock()
+	if count > len(n.cfg.Peers)/2 {
+		n.maybeBecomeLeader(term)
+	}
+}
+
+// maybeBecomeLeader installs leadership for the term.
+func (n *Node) maybeBecomeLeader(term uint64) {
+	n.mu.Lock()
+	if n.role != candidate || n.term != term {
+		n.mu.Unlock()
+		return
+	}
+	n.role = leader
+	n.leaderID = n.cfg.ID
+	n.nextIndex = make(map[string]uint64)
+	n.matchIndex = make(map[string]uint64)
+	last := uint64(len(n.log) - 1)
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = last + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.cfg.ID] = last
+	n.mu.Unlock()
+	n.logf("became leader of term %d", term)
+	n.broadcastAppendEntries()
+	n.advanceCommit()
+}
+
+// broadcastAppendEntries ships log suffixes (or heartbeats) to followers.
+func (n *Node) broadcastAppendEntries() {
+	n.mu.Lock()
+	if n.role != leader {
+		n.mu.Unlock()
+		return
+	}
+	term := n.term
+	commit := n.commitIndex
+	type batch struct {
+		peer string
+		msg  appendEntriesMsg
+	}
+	var batches []batch
+	for _, p := range n.peersExceptSelf() {
+		next := n.nextIndex[p]
+		if next < 1 {
+			next = 1
+		}
+		prevIndex := next - 1
+		prevTerm := n.log[prevIndex].Term
+		entries := make([]Entry, len(n.log[next:]))
+		copy(entries, n.log[next:])
+		batches = append(batches, batch{peer: p, msg: appendEntriesMsg{
+			Term:         term,
+			LeaderID:     n.cfg.ID,
+			PrevLogIndex: prevIndex,
+			PrevLogTerm:  prevTerm,
+			Entries:      entries,
+			LeaderCommit: commit,
+		}})
+	}
+	n.mu.Unlock()
+	for _, b := range batches {
+		n.send(b.peer, typeAppendEntries, b.msg)
+	}
+}
+
+// onAppendEntries implements the follower's log repair rule.
+func (n *Node) onAppendEntries(m *appendEntriesMsg) {
+	n.mu.Lock()
+	if m.Term > n.term {
+		n.stepDownLocked(m.Term)
+	}
+	success := false
+	matchIndex := uint64(0)
+	if m.Term == n.term {
+		if n.role != follower {
+			n.role = follower
+			n.votes = nil
+		}
+		n.leaderID = m.LeaderID
+		n.resetElectionTimerLocked()
+		if m.PrevLogIndex < uint64(len(n.log)) && n.log[m.PrevLogIndex].Term == m.PrevLogTerm {
+			success = true
+			// Truncate conflicts and append.
+			insert := m.PrevLogIndex + 1
+			for i, e := range m.Entries {
+				idx := insert + uint64(i)
+				if idx < uint64(len(n.log)) {
+					if n.log[idx].Term != e.Term {
+						n.log = n.log[:idx]
+						n.log = append(n.log, e)
+					}
+				} else {
+					n.log = append(n.log, e)
+				}
+			}
+			matchIndex = m.PrevLogIndex + uint64(len(m.Entries))
+			if m.LeaderCommit > n.commitIndex {
+				last := uint64(len(n.log) - 1)
+				n.commitIndex = min(m.LeaderCommit, last)
+			}
+		}
+	}
+	term := n.term
+	n.mu.Unlock()
+	n.applyCommitted()
+	n.send(m.LeaderID, typeAppendReply, appendReplyMsg{
+		Term: term, From: n.cfg.ID, Success: success, MatchIndex: matchIndex,
+	})
+}
+
+// onAppendReply advances match indices and the commit point.
+func (n *Node) onAppendReply(m *appendReplyMsg) {
+	n.mu.Lock()
+	if m.Term > n.term {
+		n.stepDownLocked(m.Term)
+		n.mu.Unlock()
+		return
+	}
+	if n.role != leader || m.Term != n.term {
+		n.mu.Unlock()
+		return
+	}
+	if m.Success {
+		if m.MatchIndex > n.matchIndex[m.From] {
+			n.matchIndex[m.From] = m.MatchIndex
+		}
+		n.nextIndex[m.From] = m.MatchIndex + 1
+	} else {
+		if n.nextIndex[m.From] > 1 {
+			n.nextIndex[m.From]--
+		}
+	}
+	n.mu.Unlock()
+	n.advanceCommit()
+}
+
+// advanceCommit commits entries replicated on a majority (current term
+// only, per the Raft safety rule).
+func (n *Node) advanceCommit() {
+	n.mu.Lock()
+	if n.role != leader {
+		n.mu.Unlock()
+		return
+	}
+	last := uint64(len(n.log) - 1)
+	for idx := last; idx > n.commitIndex; idx-- {
+		if n.log[idx].Term != n.term {
+			continue
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if count > len(n.cfg.Peers)/2 {
+			n.commitIndex = idx
+			break
+		}
+	}
+	n.mu.Unlock()
+	n.applyCommitted()
+}
+
+// applyCommitted invokes Apply for newly committed entries in order.
+func (n *Node) applyCommitted() {
+	for {
+		n.mu.Lock()
+		if n.lastApplied >= n.commitIndex {
+			n.mu.Unlock()
+			return
+		}
+		n.lastApplied++
+		idx := n.lastApplied
+		entry := n.log[idx]
+		apply := n.cfg.Apply
+		n.mu.Unlock()
+		if apply != nil {
+			apply(idx, entry.Command)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package raft
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tolerance/internal/transport"
+)
+
+type raftCluster struct {
+	t     *testing.T
+	net   *transport.SimNetwork
+	nodes map[string]*Node
+	mu    sync.Mutex
+	logs  map[string][]string // applied commands per node
+	peers []string
+}
+
+func newRaftCluster(t *testing.T, n int) *raftCluster {
+	t.Helper()
+	net, err := transport.NewSimNetwork(transport.Conditions{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &raftCluster{
+		t:     t,
+		net:   net,
+		nodes: make(map[string]*Node),
+		logs:  make(map[string][]string),
+	}
+	for i := 0; i < n; i++ {
+		c.peers = append(c.peers, fmt.Sprintf("n%d", i))
+	}
+	for _, id := range c.peers {
+		c.start(id)
+	}
+	t.Cleanup(func() {
+		for _, node := range c.nodes {
+			node.Stop()
+		}
+		net.Close()
+	})
+	return c
+}
+
+func (c *raftCluster) start(id string) {
+	c.t.Helper()
+	ep, err := c.net.Endpoint(id)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	nodeID := id
+	node, err := NewNode(Config{
+		ID:              id,
+		Peers:           c.peers,
+		Endpoint:        ep,
+		ElectionTimeout: 100 * time.Millisecond,
+		Seed:            int64(len(id)) * 31,
+		Apply: func(index uint64, command []byte) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.logs[nodeID] = append(c.logs[nodeID], string(command))
+		},
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.nodes[id] = node
+}
+
+// waitForLeader blocks until exactly one live node leads.
+func (c *raftCluster) waitForLeader(timeout time.Duration) *Node {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var leaders []*Node
+		maxTerm := uint64(0)
+		for _, n := range c.nodes {
+			if n.Term() > maxTerm {
+				maxTerm = n.Term()
+			}
+		}
+		for _, n := range c.nodes {
+			if n.IsLeader() && n.Term() == maxTerm {
+				leaders = append(leaders, n)
+			}
+		}
+		if len(leaders) == 1 {
+			return leaders[0]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.t.Fatal("no unique leader elected")
+	return nil
+}
+
+func (c *raftCluster) appliedOn(id string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.logs[id]...)
+}
+
+func TestLeaderElection(t *testing.T) {
+	c := newRaftCluster(t, 3)
+	leader := c.waitForLeader(3 * time.Second)
+	if leader == nil {
+		t.Fatal("no leader")
+	}
+	// All nodes converge on the leader's identity.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		agree := true
+		for _, n := range c.nodes {
+			if n.Leader() != leader.ID() {
+				agree = false
+			}
+		}
+		if agree {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("nodes did not converge on the leader identity")
+}
+
+func TestLogReplication(t *testing.T) {
+	c := newRaftCluster(t, 3)
+	leader := c.waitForLeader(3 * time.Second)
+	for i := 0; i < 5; i++ {
+		if _, err := leader.Propose([]byte(fmt.Sprintf("cmd%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, id := range c.peers {
+			if len(c.appliedOn(id)) < 5 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	want := []string{"cmd0", "cmd1", "cmd2", "cmd3", "cmd4"}
+	for _, id := range c.peers {
+		got := c.appliedOn(id)
+		if len(got) != 5 {
+			t.Fatalf("%s applied %d commands, want 5", id, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s applied %v, want %v", id, got, want)
+			}
+		}
+	}
+}
+
+func TestProposeOnFollowerFails(t *testing.T) {
+	c := newRaftCluster(t, 3)
+	leader := c.waitForLeader(3 * time.Second)
+	for _, n := range c.nodes {
+		if n.ID() == leader.ID() {
+			continue
+		}
+		if _, err := n.Propose([]byte("x")); err != ErrNotLeader {
+			t.Errorf("follower Propose = %v, want ErrNotLeader", err)
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c := newRaftCluster(t, 3)
+	leader := c.waitForLeader(3 * time.Second)
+	if _, err := leader.Propose([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for replication, then kill the leader.
+	time.Sleep(300 * time.Millisecond)
+	oldID := leader.ID()
+	leader.Stop()
+	delete(c.nodes, oldID)
+	c.net.Isolate(oldID)
+
+	newLeader := c.waitForLeader(5 * time.Second)
+	if newLeader.ID() == oldID {
+		t.Fatal("dead node still leads")
+	}
+	if _, err := newLeader.Propose([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for id := range c.nodes {
+			applied := c.appliedOn(id)
+			if len(applied) < 2 || applied[0] != "before" || applied[1] != "after" {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for id := range c.nodes {
+		t.Logf("%s applied %v", id, c.appliedOn(id))
+	}
+	t.Fatal("committed entries lost across failover")
+}
+
+func TestPartitionedLeaderStepsDown(t *testing.T) {
+	c := newRaftCluster(t, 3)
+	leader := c.waitForLeader(3 * time.Second)
+	oldID := leader.ID()
+	c.net.Isolate(oldID)
+
+	// The majority side elects a new leader.
+	deadline := time.Now().Add(5 * time.Second)
+	var newLeader *Node
+	for time.Now().Before(deadline) {
+		for id, n := range c.nodes {
+			if id != oldID && n.IsLeader() {
+				newLeader = n
+			}
+		}
+		if newLeader != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if newLeader == nil {
+		t.Fatal("majority did not elect a new leader")
+	}
+	// Entries proposed on the isolated leader never commit.
+	before := leader.CommitIndex()
+	_, _ = leader.Propose([]byte("doomed"))
+	time.Sleep(300 * time.Millisecond)
+	if leader.CommitIndex() > before {
+		t.Error("isolated leader committed without a majority")
+	}
+	// After healing, the old leader steps down to the higher term.
+	c.net.Heal()
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if !leader.IsLeader() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("stale leader did not step down after heal")
+}
+
+func TestSingleNodeClusterSelfElects(t *testing.T) {
+	c := newRaftCluster(t, 1)
+	leader := c.waitForLeader(3 * time.Second)
+	if _, err := leader.Propose([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.appliedOn(leader.ID())) == 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("single-node cluster did not apply")
+}
+
+func TestConfigValidation(t *testing.T) {
+	net, _ := transport.NewSimNetwork(transport.Conditions{}, 1)
+	defer net.Close()
+	ep, _ := net.Endpoint("a")
+	if _, err := NewNode(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := NewNode(Config{ID: "a", Peers: []string{"b"}, Endpoint: ep}); err == nil {
+		t.Error("id not in peers should fail")
+	}
+	if _, err := NewNode(Config{ID: "a", Peers: []string{"a"}}); err == nil {
+		t.Error("nil endpoint should fail")
+	}
+	n, err := NewNode(Config{ID: "a", Peers: []string{"a"}, Endpoint: ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Stop()
+	n.Stop() // idempotent
+}

@@ -1,0 +1,99 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/opt"
+)
+
+// ErrBadAlgorithm1Config is returned for invalid Algorithm 1 configurations.
+var ErrBadAlgorithm1Config = errors.New("recovery: bad Algorithm 1 config")
+
+// Algorithm1Config parameterizes Algorithm 1 of the paper: parametric
+// optimization of threshold recovery strategies.
+type Algorithm1Config struct {
+	// DeltaR is the BTR bound (InfiniteDeltaR for no constraint). Following
+	// line 4 of Algorithm 1, the threshold dimension is DeltaR-1 (or 1).
+	DeltaR int
+	// Optimizer is the parametric optimizer PO (SPSA, CEM, DE, BO, ...).
+	Optimizer opt.Optimizer
+	// Budget is the number of objective evaluations given to the optimizer.
+	Budget int
+	// Episodes per objective evaluation (Table 8: M = 50).
+	Episodes int
+	// Horizon of each simulated episode.
+	Horizon int
+	// Seed drives both the optimizer and the simulation noise.
+	Seed int64
+}
+
+func (c Algorithm1Config) validate() error {
+	if c.Optimizer == nil {
+		return fmt.Errorf("%w: nil optimizer", ErrBadAlgorithm1Config)
+	}
+	if c.DeltaR < 0 {
+		return fmt.Errorf("%w: deltaR = %d", ErrBadAlgorithm1Config, c.DeltaR)
+	}
+	if c.Budget < 2 {
+		return fmt.Errorf("%w: budget = %d", ErrBadAlgorithm1Config, c.Budget)
+	}
+	if c.Episodes < 1 || c.Horizon < 1 {
+		return fmt.Errorf("%w: episodes = %d, horizon = %d",
+			ErrBadAlgorithm1Config, c.Episodes, c.Horizon)
+	}
+	return nil
+}
+
+// Algorithm1Result bundles the learned strategy with the optimizer trace.
+type Algorithm1Result struct {
+	// Strategy is the best threshold strategy found.
+	Strategy *ThresholdStrategy
+	// Cost is the Monte-Carlo estimate of J_i at Strategy.
+	Cost float64
+	// Search is the optimizer's result (trace, evaluations, elapsed time).
+	Search *opt.Result
+}
+
+// Algorithm1 runs the paper's Algorithm 1: it parameterizes the strategy
+// space with ThresholdDim(deltaR) thresholds (exploiting Theorem 1), defines
+// the objective as the Monte-Carlo estimate of J_i (eq. 5) under the BTR
+// constraint, and delegates the search to the given parametric optimizer.
+func Algorithm1(p nodemodel.Params, cfg Algorithm1Config) (*Algorithm1Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dim := ThresholdDim(cfg.DeltaR)
+	simCfg := SimConfig{Episodes: cfg.Episodes, Horizon: cfg.Horizon, DeltaR: cfg.DeltaR}
+
+	// A fixed evaluation seed per theta (common random numbers) reduces the
+	// variance of comparisons between candidate strategies.
+	evalSeed := cfg.Seed + 1
+	objective := func(theta []float64) float64 {
+		s := &ThresholdStrategy{Thresholds: theta, DeltaR: cfg.DeltaR}
+		rng := rand.New(rand.NewSource(evalSeed))
+		m, err := Evaluate(rng, p, s, simCfg)
+		if err != nil {
+			// Theta is always within [0,1]^d, so evaluation errors are
+			// programming errors; surface them as a pessimal cost.
+			return 1e9
+		}
+		return m.AvgCost
+	}
+
+	searchRng := rand.New(rand.NewSource(cfg.Seed))
+	res, err := cfg.Optimizer.Minimize(searchRng, dim, objective, cfg.Budget)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: algorithm 1 (%s): %w", cfg.Optimizer.Name(), err)
+	}
+	strategy, err := NewThresholdStrategy(res.Theta, cfg.DeltaR)
+	if err != nil {
+		return nil, err
+	}
+	return &Algorithm1Result{Strategy: strategy, Cost: res.Value, Search: res}, nil
+}

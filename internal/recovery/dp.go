@@ -1,0 +1,319 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tolerance/internal/nodemodel"
+)
+
+// ErrDPNotConverged is returned when the stationary value iteration for
+// Delta_R = infinity fails to converge.
+var ErrDPNotConverged = errors.New("recovery: dp value iteration did not converge")
+
+// DPConfig configures the exact dynamic-programming solver.
+type DPConfig struct {
+	// DeltaR is the BTR bound; InfiniteDeltaR solves the stationary problem.
+	DeltaR int
+	// GridSize is the number of belief-grid intervals (default 500).
+	GridSize int
+	// BisectIterations bounds the bisection on the average cost for the
+	// stationary problem (default 40).
+	BisectIterations int
+	// MaxValueIterations bounds the stationary value iteration (default 5000).
+	MaxValueIterations int
+}
+
+func (c DPConfig) withDefaults() DPConfig {
+	if c.GridSize <= 0 {
+		c.GridSize = 500
+	}
+	if c.BisectIterations <= 0 {
+		c.BisectIterations = 40
+	}
+	if c.MaxValueIterations <= 0 {
+		c.MaxValueIterations = 5000
+	}
+	return c
+}
+
+// DPSolution is the exact solution of Problem 1.
+//
+// For finite Delta_R the BTR constraint (eq. 6b) forces recovery at the
+// fixed calendar times k*Delta_R, so the process renews every Delta_R steps
+// (eq. 16) and the optimal strategy follows from backward induction over one
+// window. For Delta_R = infinity the process renews at (threshold-triggered)
+// recoveries instead, and the average cost rho solves g(rho) = 0 where g is
+// the optimal expected (cost - rho * time) per recovery cycle; rho is found
+// by bisection. Crash absorption (probability <= pC2 per step) is ignored by
+// the DP and handled by the simulator; the induced bias is O(pC2).
+type DPSolution struct {
+	// AvgCost is the optimal long-run average cost J* (eq. 5).
+	AvgCost float64
+	// Thresholds holds the optimal recovery thresholds alpha*_k per window
+	// position k = 1..len(Thresholds) (Fig 15, Cor. 1); for
+	// DeltaR = infinity it has a single stationary entry.
+	Thresholds []float64
+	// Grid is the belief grid used.
+	Grid []float64
+	// Value is the optimal cost-to-go at grid beliefs per window position
+	// (finite Delta_R) or the stationary relative value (infinite).
+	Value [][]float64
+}
+
+// Threshold returns alpha*_k clamped to the available window positions.
+func (s *DPSolution) Threshold(windowPos int) float64 {
+	k := windowPos
+	if k < 1 {
+		k = 1
+	}
+	if k > len(s.Thresholds) {
+		k = len(s.Thresholds)
+	}
+	return s.Thresholds[k-1]
+}
+
+// Strategy converts the DP solution into a threshold strategy for deltaR.
+func (s *DPSolution) Strategy(deltaR int) *ThresholdStrategy {
+	dim := ThresholdDim(deltaR)
+	th := make([]float64, dim)
+	for k := 1; k <= dim; k++ {
+		th[k-1] = s.Threshold(k)
+	}
+	return &ThresholdStrategy{Thresholds: th, DeltaR: deltaR}
+}
+
+// SolveDP computes the optimal average cost and thresholds of Problem 1.
+func SolveDP(p nodemodel.Params, cfg DPConfig) (*DPSolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.DeltaR < 0 {
+		return nil, fmt.Errorf("%w: deltaR = %d", ErrBadStrategy, cfg.DeltaR)
+	}
+
+	grid := make([]float64, cfg.GridSize+1)
+	for i := range grid {
+		grid[i] = float64(i) / float64(cfg.GridSize)
+	}
+	solver := &dpSolver{p: p, cfg: cfg, grid: grid}
+	solver.prepare()
+
+	if cfg.DeltaR != InfiniteDeltaR {
+		return solver.solveWindow()
+	}
+	return solver.solveStationary()
+}
+
+type dpSolver struct {
+	p    nodemodel.Params
+	cfg  DPConfig
+	grid []float64
+
+	// Cached posterior beliefs and observation probabilities: for each grid
+	// belief b, waiting leads to predictive pb and posterior b'(o) with
+	// probability po(o).
+	postWait [][]float64 // [gridIdx][obs] posterior
+	probWait [][]float64 // [gridIdx][obs] observation probability
+	// Posterior/probabilities from the post-recovery prior pA (used both
+	// for the recover action's continuation and the window start).
+	postReset []float64
+	probReset []float64
+}
+
+// prepare caches the belief transitions.
+func (d *dpSolver) prepare() {
+	p := d.p
+	numObs := p.NumObs()
+	d.postWait = make([][]float64, len(d.grid))
+	d.probWait = make([][]float64, len(d.grid))
+	for i, b := range d.grid {
+		pb := p.PredictBelief(b, nodemodel.Wait)
+		d.postWait[i] = make([]float64, numObs)
+		d.probWait[i] = make([]float64, numObs)
+		for o := 0; o < numObs; o++ {
+			zc := p.ZCompromised.Prob(o)
+			zh := p.ZHealthy.Prob(o)
+			po := pb*zc + (1-pb)*zh
+			d.probWait[i][o] = po
+			if po > 0 {
+				d.postWait[i][o] = pb * zc / po
+			}
+		}
+	}
+	d.postReset = make([]float64, numObs)
+	d.probReset = make([]float64, numObs)
+	pa := p.PA
+	for o := 0; o < numObs; o++ {
+		zc := p.ZCompromised.Prob(o)
+		zh := p.ZHealthy.Prob(o)
+		po := pa*zc + (1-pa)*zh
+		d.probReset[o] = po
+		if po > 0 {
+			d.postReset[o] = pa * zc / po
+		}
+	}
+}
+
+// interpolate evaluates a grid function at belief b by linear interpolation.
+func (d *dpSolver) interpolate(w []float64, b float64) float64 {
+	n := len(d.grid) - 1
+	x := b * float64(n)
+	i := int(x)
+	if i >= n {
+		return w[n]
+	}
+	frac := x - float64(i)
+	return w[i]*(1-frac) + w[i+1]*frac
+}
+
+// expectWait computes E_o[ W(b'(b,o)) ] for a grid belief index under Wait.
+func (d *dpSolver) expectWait(w []float64, gridIdx int) float64 {
+	e := 0.0
+	for o, po := range d.probWait[gridIdx] {
+		if po == 0 {
+			continue
+		}
+		e += po * d.interpolate(w, d.postWait[gridIdx][o])
+	}
+	return e
+}
+
+// expectReset computes E_o[ W(b'(o)) ] from the post-recovery prior pA.
+func (d *dpSolver) expectReset(w []float64) float64 {
+	e := 0.0
+	for o, po := range d.probReset {
+		if po == 0 {
+			continue
+		}
+		e += po * d.interpolate(w, d.postReset[o])
+	}
+	return e
+}
+
+// solveWindow performs backward induction over one calendar window of
+// length DeltaR: position DeltaR carries the forced recovery (cost 1) and
+// ends the window; earlier positions choose between waiting (cost eta*b)
+// and recovering (cost 1, belief reset to pA).
+func (d *dpSolver) solveWindow() (*DPSolution, error) {
+	p := d.p
+	deltaR := d.cfg.DeltaR
+	stages := make([][]float64, deltaR)
+	forced := make([]float64, len(d.grid))
+	for i := range forced {
+		forced[i] = 1 // forced recovery cost; window ends here
+	}
+	stages[deltaR-1] = forced
+	thresholds := make([]float64, deltaR-1)
+
+	for k := deltaR - 1; k >= 1; k-- {
+		next := stages[k] // V(., k+1)
+		recoverVal := 1 + d.expectReset(next)
+		cur := make([]float64, len(d.grid))
+		threshold := 1.0
+		set := false
+		for i, b := range d.grid {
+			waitVal := p.Eta*b + d.expectWait(next, i)
+			if recoverVal <= waitVal {
+				cur[i] = recoverVal
+				if !set {
+					threshold = b
+					set = true
+				}
+			} else {
+				cur[i] = waitVal
+			}
+		}
+		stages[k-1] = cur
+		thresholds[k-1] = threshold
+	}
+
+	var avg float64
+	if deltaR == 1 {
+		avg = 1 // every step is a forced recovery
+		thresholds = []float64{0}
+	} else {
+		avg = d.expectReset(stages[0]) / float64(deltaR)
+	}
+	return &DPSolution{
+		AvgCost:    avg,
+		Thresholds: thresholds,
+		Grid:       d.grid,
+		Value:      stages,
+	}, nil
+}
+
+// solveStationary solves the unconstrained problem by bisection on rho over
+// the renewal-at-recovery decomposition: for fixed rho the optimal stopping
+// value W satisfies
+//
+//	W(b) = min( 1 - rho,  eta*b - rho + E_o W(b') ),
+//
+// and the optimal rho zeroes the cycle-start value E_o W(b_1(o)).
+func (d *dpSolver) solveStationary() (*DPSolution, error) {
+	p := d.p
+	lo, hi := 0.0, p.Eta+1
+	var w []float64
+	var err error
+	for it := 0; it < d.cfg.BisectIterations; it++ {
+		rho := (lo + hi) / 2
+		w, err = d.stoppingValue(rho)
+		if err != nil {
+			return nil, err
+		}
+		if d.expectReset(w) > 0 {
+			lo = rho
+		} else {
+			hi = rho
+		}
+	}
+	rho := (lo + hi) / 2
+	w, err = d.stoppingValue(rho)
+	if err != nil {
+		return nil, err
+	}
+
+	// Extract the stationary threshold.
+	threshold := 1.0
+	recoverVal := 1 - rho
+	for i, b := range d.grid {
+		waitVal := p.Eta*b - rho + d.expectWait(w, i)
+		if recoverVal <= waitVal {
+			threshold = b
+			_ = i
+			break
+		}
+	}
+	return &DPSolution{
+		AvgCost:    rho,
+		Thresholds: []float64{threshold},
+		Grid:       d.grid,
+		Value:      [][]float64{w},
+	}, nil
+}
+
+// stoppingValue iterates the optimal-stopping fixed point for a given rho.
+func (d *dpSolver) stoppingValue(rho float64) ([]float64, error) {
+	p := d.p
+	recoverVal := 1 - rho
+	w := make([]float64, len(d.grid))
+	for it := 0; it < d.cfg.MaxValueIterations; it++ {
+		diff := 0.0
+		next := make([]float64, len(d.grid))
+		for i, b := range d.grid {
+			waitVal := p.Eta*b - rho + d.expectWait(w, i)
+			v := math.Min(recoverVal, waitVal)
+			next[i] = v
+			if dd := math.Abs(v - w[i]); dd > diff {
+				diff = dd
+			}
+		}
+		w = next
+		if diff < 1e-10 {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: rho = %v", ErrDPNotConverged, rho)
+}

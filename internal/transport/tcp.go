@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds a single TCP frame (16 MiB) to contain misbehaving peers.
+const maxFrame = 16 << 20
+
+// TCPEndpoint is an Endpoint backed by real TCP connections with
+// length-prefixed frames. Addresses are host:port strings; each endpoint
+// listens on its own address and lazily dials peers.
+type TCPEndpoint struct {
+	addr     string
+	listener net.Listener
+	ch       chan Message
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn
+	inbound []net.Conn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// ListenTCP starts an endpoint on the given address ("127.0.0.1:0" picks a
+// free port; use Addr to learn it).
+func ListenTCP(addr string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		addr:     l.Addr().String(),
+		listener: l,
+		ch:       make(chan Message, 4096),
+		conns:    make(map[string]net.Conn),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr implements Endpoint.
+func (e *TCPEndpoint) Addr() string { return e.addr }
+
+// Receive implements Endpoint.
+func (e *TCPEndpoint) Receive() <-chan Message { return e.ch }
+
+// Send implements Endpoint.
+func (e *TCPEndpoint) Send(to string, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	conn, ok := e.conns[to]
+	e.mu.Unlock()
+	if !ok {
+		var err error
+		conn, err = net.Dial("tcp", to)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", to, err)
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return ErrClosed
+		}
+		if existing, dup := e.conns[to]; dup {
+			e.mu.Unlock()
+			_ = conn.Close()
+			conn = existing
+		} else {
+			e.conns[to] = conn
+			e.mu.Unlock()
+		}
+	}
+	if err := writeFrame(conn, e.addr, payload); err != nil {
+		e.mu.Lock()
+		delete(e.conns, to)
+		e.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[string]net.Conn{}
+	inbound := e.inbound
+	e.inbound = nil
+	e.mu.Unlock()
+
+	_ = e.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	// Closing inbound connections unblocks their reader goroutines, which
+	// Close waits for below.
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	close(e.ch)
+	return nil
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.inbound = append(e.inbound, conn)
+		e.wg.Add(1)
+		e.mu.Unlock()
+		go e.readLoop(conn)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	for {
+		from, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case e.ch <- Message{From: from, To: e.addr, Payload: payload}:
+		default:
+			// Drop on overflow, like the simulated network.
+		}
+	}
+}
+
+// writeFrame writes [fromLen u16][from][payloadLen u32][payload].
+func writeFrame(w io.Writer, from string, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: frame too large (%d bytes)", len(payload))
+	}
+	header := make([]byte, 2+len(from)+4)
+	binary.BigEndian.PutUint16(header[:2], uint16(len(from)))
+	copy(header[2:], from)
+	binary.BigEndian.PutUint32(header[2+len(from):], uint32(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame written by writeFrame.
+func readFrame(r io.Reader) (from string, payload []byte, err error) {
+	var lenBuf [2]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, err
+	}
+	fromLen := binary.BigEndian.Uint16(lenBuf[:])
+	fromBuf := make([]byte, fromLen)
+	if _, err = io.ReadFull(r, fromBuf); err != nil {
+		return "", nil, err
+	}
+	var sizeBuf [4]byte
+	if _, err = io.ReadFull(r, sizeBuf[:]); err != nil {
+		return "", nil, err
+	}
+	size := binary.BigEndian.Uint32(sizeBuf[:])
+	if size > maxFrame {
+		return "", nil, fmt.Errorf("transport: oversized frame (%d bytes)", size)
+	}
+	payload = make([]byte, size)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return "", nil, err
+	}
+	return string(fromBuf), payload, nil
+}

@@ -1,0 +1,205 @@
+// Package usig implements the Unique Sequential Identifier Generator — the
+// trusted component that MinBFT relies on (Appendix G of the paper; [43]).
+// A USIG assigns monotonically increasing counter values to messages and
+// certifies the assignment so that other replicas can verify that a given
+// counter value was assigned to a given message and that no counter value is
+// ever reused ("the tamperproof service can assert whether a given sequence
+// number was assigned to a message").
+//
+// Two certification modes are provided: HMAC-SHA256 over a shared symmetric
+// key (fast; models the trusted hardware of the hybrid failure model) and
+// RSA signatures with 1024-bit keys (the paper's Table 8 configuration).
+//
+// In the TOLERANCE architecture the USIG lives in a node's privileged
+// domain, which by assumption can only fail by crashing; a compromised
+// application domain therefore cannot equivocate even though the replica is
+// byzantine.
+package usig
+
+import (
+	"crypto"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by USIG operations.
+var (
+	ErrBadCertificate = errors.New("usig: invalid certificate")
+	ErrUnknownReplica = errors.New("usig: unknown replica")
+)
+
+// UI is a unique identifier: a certified (counter, message-digest) pair.
+type UI struct {
+	// ReplicaID identifies the USIG instance that created the identifier.
+	ReplicaID string `json:"replicaId"`
+	// Counter is the monotonically increasing sequence value.
+	Counter uint64 `json:"counter"`
+	// Cert is the certificate over (replicaID, counter, digest).
+	Cert []byte `json:"cert"`
+}
+
+// USIG is a trusted monotonic counter bound to a certification key.
+type USIG struct {
+	mu      sync.Mutex
+	id      string
+	counter uint64
+	hmacKey []byte
+	rsaKey  *rsa.PrivateKey
+}
+
+// NewHMAC creates a USIG certifying with HMAC-SHA256 over a shared key.
+func NewHMAC(id string, key []byte) (*USIG, error) {
+	if id == "" {
+		return nil, errors.New("usig: empty replica id")
+	}
+	if len(key) < 16 {
+		return nil, errors.New("usig: key shorter than 16 bytes")
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &USIG{id: id, hmacKey: k}, nil
+}
+
+// NewRSA creates a USIG certifying with RSA signatures (Table 8: 1024-bit
+// keys). bits < 1024 is rejected.
+func NewRSA(id string, bits int) (*USIG, error) {
+	if id == "" {
+		return nil, errors.New("usig: empty replica id")
+	}
+	if bits < 1024 {
+		return nil, fmt.Errorf("usig: rsa key size %d below 1024", bits)
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("usig: generate rsa key: %w", err)
+	}
+	return &USIG{id: id, rsaKey: key}, nil
+}
+
+// ID returns the owning replica's identifier.
+func (u *USIG) ID() string { return u.id }
+
+// Counter returns the last assigned counter value.
+func (u *USIG) Counter() uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.counter
+}
+
+// PublicKey returns the RSA public key, or nil in HMAC mode.
+func (u *USIG) PublicKey() *rsa.PublicKey {
+	if u.rsaKey == nil {
+		return nil
+	}
+	return &u.rsaKey.PublicKey
+}
+
+// CreateUI assigns the next counter value to the message and certifies it.
+// Counter values are never reused and never skip: this is the property that
+// prevents equivocation in MinBFT.
+func (u *USIG) CreateUI(message []byte) (UI, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.counter++
+	digest := sha256.Sum256(message)
+	payload := certPayload(u.id, u.counter, digest[:])
+	var cert []byte
+	if u.rsaKey != nil {
+		hashed := sha256.Sum256(payload)
+		sig, err := rsa.SignPKCS1v15(rand.Reader, u.rsaKey, crypto.SHA256, hashed[:])
+		if err != nil {
+			u.counter-- // certification failed; do not burn the counter
+			return UI{}, fmt.Errorf("usig: sign: %w", err)
+		}
+		cert = sig
+	} else {
+		mac := hmac.New(sha256.New, u.hmacKey)
+		mac.Write(payload)
+		cert = mac.Sum(nil)
+	}
+	return UI{ReplicaID: u.id, Counter: u.counter, Cert: cert}, nil
+}
+
+// certPayload canonically encodes (id, counter, digest).
+func certPayload(id string, counter uint64, digest []byte) []byte {
+	buf := make([]byte, 0, 2+len(id)+8+len(digest))
+	var idLen [2]byte
+	binary.BigEndian.PutUint16(idLen[:], uint16(len(id)))
+	buf = append(buf, idLen[:]...)
+	buf = append(buf, id...)
+	var ctr [8]byte
+	binary.BigEndian.PutUint64(ctr[:], counter)
+	buf = append(buf, ctr[:]...)
+	buf = append(buf, digest...)
+	return buf
+}
+
+// Verifier checks UIs created by a set of USIGs. In HMAC mode all replicas
+// share the key (the trusted components hold it; byzantine application
+// domains never see it); in RSA mode the verifier holds public keys.
+type Verifier struct {
+	mu      sync.RWMutex
+	hmacKey []byte
+	rsaKeys map[string]*rsa.PublicKey
+}
+
+// NewHMACVerifier builds a verifier for HMAC-mode USIGs.
+func NewHMACVerifier(key []byte) (*Verifier, error) {
+	if len(key) < 16 {
+		return nil, errors.New("usig: key shorter than 16 bytes")
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Verifier{hmacKey: k}, nil
+}
+
+// NewRSAVerifier builds a verifier over registered RSA public keys.
+func NewRSAVerifier() *Verifier {
+	return &Verifier{rsaKeys: make(map[string]*rsa.PublicKey)}
+}
+
+// Register adds (or replaces) a replica's RSA public key.
+func (v *Verifier) Register(id string, key *rsa.PublicKey) error {
+	if v.rsaKeys == nil {
+		return errors.New("usig: verifier is in HMAC mode")
+	}
+	if key == nil {
+		return errors.New("usig: nil public key")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.rsaKeys[id] = key
+	return nil
+}
+
+// VerifyUI checks that the UI certifies the given message for its claimed
+// replica and counter.
+func (v *Verifier) VerifyUI(message []byte, ui UI) error {
+	digest := sha256.Sum256(message)
+	payload := certPayload(ui.ReplicaID, ui.Counter, digest[:])
+	if v.rsaKeys != nil {
+		v.mu.RLock()
+		key, ok := v.rsaKeys[ui.ReplicaID]
+		v.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownReplica, ui.ReplicaID)
+		}
+		hashed := sha256.Sum256(payload)
+		if err := rsa.VerifyPKCS1v15(key, crypto.SHA256, hashed[:], ui.Cert); err != nil {
+			return fmt.Errorf("%w: rsa: %v", ErrBadCertificate, err)
+		}
+		return nil
+	}
+	mac := hmac.New(sha256.New, v.hmacKey)
+	mac.Write(payload)
+	if !hmac.Equal(mac.Sum(nil), ui.Cert) {
+		return ErrBadCertificate
+	}
+	return nil
+}

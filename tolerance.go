@@ -1,0 +1,348 @@
+// Package tolerance is the public API of the TOLERANCE reproduction — the
+// two-level feedback control architecture for intrusion-tolerant systems of
+// Hammar & Stadler, "Intrusion Tolerance for Networked Systems through
+// Two-Level Feedback Control" (DSN 2024).
+//
+// The package exposes the two control problems and the evaluation harness:
+//
+//   - SolveRecoveryStrategy / LearnRecoveryStrategy solve Problem 1
+//     (optimal intrusion recovery) exactly by dynamic programming or with
+//     Algorithm 1's parametric optimizers (CEM, DE, BO, SPSA).
+//   - SolveReplicationStrategy solves Problem 2 (optimal replication
+//     factor) with Algorithm 2's occupancy-measure linear program.
+//   - Compare runs the §VIII evaluation: TOLERANCE against the
+//     NO-RECOVERY, PERIODIC and PERIODIC-ADAPTIVE baselines on the
+//     emulated testbed, reporting T(A), T(R) and F(R).
+//   - MTTF and Reliability compute the Fig 6 failure-time analytics.
+//
+// Lower-level building blocks (the MinBFT and Raft implementations, the
+// POMDP solvers, the emulation) live under internal/ and are exercised by
+// the examples and the benchmark harness.
+package tolerance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tolerance/internal/baselines"
+	"tolerance/internal/cmdp"
+	"tolerance/internal/dist"
+	"tolerance/internal/emulation"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/opt"
+	"tolerance/internal/recovery"
+)
+
+// InfiniteDeltaR disables the bounded-time-to-recovery constraint.
+const InfiniteDeltaR = recovery.InfiniteDeltaR
+
+// ErrBadInput is returned for invalid API inputs.
+var ErrBadInput = errors.New("tolerance: bad input")
+
+// NodeModel holds the per-node model parameters of eq. (2)-(5).
+type NodeModel struct {
+	// PA is the per-step compromise probability.
+	PA float64
+	// PC1 and PC2 are the crash probabilities in the healthy and
+	// compromised states.
+	PC1, PC2 float64
+	// PU is the per-step software-update probability.
+	PU float64
+	// Eta is the cost weight (eq. 5).
+	Eta float64
+}
+
+// DefaultNodeModel returns the paper's Table 8 evaluation parameters.
+func DefaultNodeModel() NodeModel {
+	return NodeModel{PA: 0.1, PC1: 1e-5, PC2: 1e-3, PU: 0.02, Eta: 2}
+}
+
+// toParams converts to the internal representation with the Table 8
+// Beta-Binomial observation model.
+func (m NodeModel) toParams() nodemodel.Params {
+	p := nodemodel.DefaultParams()
+	p.PA, p.PC1, p.PC2, p.PU, p.Eta = m.PA, m.PC1, m.PC2, m.PU, m.Eta
+	return p
+}
+
+// RecoveryStrategy is a threshold recovery strategy (Theorem 1): recover
+// when the compromise belief reaches the threshold of the current BTR
+// window position.
+type RecoveryStrategy struct {
+	// Thresholds are alpha*_k per window position (a single entry when
+	// DeltaR is infinite).
+	Thresholds []float64
+	// DeltaR is the BTR bound the strategy was computed for.
+	DeltaR int
+	// ExpectedCost is the estimated long-run average cost J (eq. 5).
+	ExpectedCost float64
+
+	inner *recovery.ThresholdStrategy
+}
+
+// ShouldRecover applies the strategy.
+func (s *RecoveryStrategy) ShouldRecover(belief float64, windowPos int) bool {
+	return s.inner.Action(belief, windowPos) == nodemodel.Recover
+}
+
+// SolveRecoveryStrategy solves Problem 1 exactly by dynamic programming
+// (the renewal decomposition of eq. 16) and returns the optimal thresholds.
+func SolveRecoveryStrategy(m NodeModel, deltaR int) (*RecoveryStrategy, error) {
+	p := m.toParams()
+	sol, err := recovery.SolveDP(p, recovery.DPConfig{DeltaR: deltaR})
+	if err != nil {
+		return nil, err
+	}
+	inner := sol.Strategy(deltaR)
+	return &RecoveryStrategy{
+		Thresholds:   append([]float64(nil), inner.Thresholds...),
+		DeltaR:       deltaR,
+		ExpectedCost: sol.AvgCost,
+		inner:        inner,
+	}, nil
+}
+
+// Optimizers available to LearnRecoveryStrategy (Table 2).
+const (
+	OptimizerCEM    = "cem"
+	OptimizerDE     = "de"
+	OptimizerBO     = "bo"
+	OptimizerSPSA   = "spsa"
+	OptimizerRandom = "random"
+)
+
+// LearnRecoveryStrategy runs Algorithm 1 with the named parametric
+// optimizer and Monte-Carlo budget.
+func LearnRecoveryStrategy(m NodeModel, deltaR int, optimizer string, budget int, seed int64) (*RecoveryStrategy, error) {
+	var po opt.Optimizer
+	switch optimizer {
+	case OptimizerCEM:
+		po = opt.CEM{}
+	case OptimizerDE:
+		po = opt.DE{}
+	case OptimizerBO:
+		po = opt.BO{}
+	case OptimizerSPSA:
+		po = opt.SPSA{}
+	case OptimizerRandom:
+		po = opt.RandomSearch{}
+	default:
+		return nil, fmt.Errorf("%w: unknown optimizer %q", ErrBadInput, optimizer)
+	}
+	res, err := recovery.Algorithm1(m.toParams(), recovery.Algorithm1Config{
+		DeltaR:    deltaR,
+		Optimizer: po,
+		Budget:    budget,
+		Episodes:  50, // Table 8: M = 50
+		Horizon:   200,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RecoveryStrategy{
+		Thresholds:   append([]float64(nil), res.Strategy.Thresholds...),
+		DeltaR:       deltaR,
+		ExpectedCost: res.Cost,
+		inner:        res.Strategy,
+	}, nil
+}
+
+// ReplicationStrategy is the Problem 2 solution: the probability of adding
+// a node per healthy-node-count state (Fig 13a).
+type ReplicationStrategy struct {
+	// AddProbability is pi*(a=1 | s) for s = 0..SMax.
+	AddProbability []float64
+	// ExpectedNodes is the stationary objective value J (eq. 9).
+	ExpectedNodes float64
+	// Availability is the achieved stationary availability (eq. 10b).
+	Availability float64
+
+	inner *cmdp.Solution
+}
+
+// ShouldAdd samples the randomized strategy for state s.
+func (r *ReplicationStrategy) ShouldAdd(rng *rand.Rand, s int) bool {
+	return r.inner.Sample(rng, s) == 1
+}
+
+// SolveReplicationStrategy solves Problem 2 with Algorithm 2. smax bounds
+// the system size, f is the tolerance threshold, epsilonA the availability
+// lower bound (eq. 10b), and q the per-step probability that a healthy node
+// remains healthy (estimate it with cmdp.EstimateHealthyProb or from domain
+// knowledge; §V-A cites Google/Meta/IBM procedures).
+func SolveReplicationStrategy(smax, f int, epsilonA, q float64) (*ReplicationStrategy, error) {
+	model, err := cmdp.NewBinomialModel(smax, f, epsilonA, q, 0)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := cmdp.Solve(model)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicationStrategy{
+		AddProbability: append([]float64(nil), sol.Policy...),
+		ExpectedNodes:  sol.AvgNodes,
+		Availability:   sol.Availability,
+		inner:          sol,
+	}, nil
+}
+
+// MTTF returns the mean time to failure of a system with n1 initial nodes,
+// tolerance threshold f, recovery allowance k, and per-step node survival
+// probability q, with no recoveries (Fig 6a).
+func MTTF(n1, f, k int, q float64) (float64, error) {
+	return cmdp.MTTF(n1, f, k, q)
+}
+
+// Reliability returns R(t) for t = 0..horizon (Fig 6b).
+func Reliability(n1, f, k, horizon int, q float64) ([]float64, error) {
+	return cmdp.Reliability(n1, f, k, horizon, q)
+}
+
+// StrategyMetrics reports one strategy's evaluation metrics with 95%
+// confidence half-widths (Table 7 cell).
+type StrategyMetrics struct {
+	Strategy          string
+	Availability      float64
+	AvailabilityCI    float64
+	TimeToRecovery    float64
+	TimeToRecoveryCI  float64
+	RecoveryFrequency float64
+	RecoveryFreqCI    float64
+	AvgNodes          float64
+}
+
+// CompareConfig configures a Table 7 comparison.
+type CompareConfig struct {
+	// N1 is the initial node count (paper: 3, 6, 9).
+	N1 int
+	// DeltaR is the BTR bound (paper: 15, 25, infinity).
+	DeltaR int
+	// Steps per run (paper: 60-second steps).
+	Steps int
+	// Seeds are the evaluation seeds (paper: 20).
+	Seeds []int64
+	// Model overrides the node model; zero value uses DefaultNodeModel.
+	Model NodeModel
+	// EpsilonA is the availability bound for the replication strategy.
+	EpsilonA float64
+}
+
+// Compare evaluates TOLERANCE and the three §VIII-B baselines under one
+// configuration and returns a row group of Table 7.
+func Compare(cfg CompareConfig) ([]StrategyMetrics, error) {
+	if cfg.N1 < 1 {
+		return nil, fmt.Errorf("%w: N1 = %d", ErrBadInput, cfg.N1)
+	}
+	if cfg.Steps == 0 {
+		cfg.Steps = 1000
+	}
+	if len(cfg.Seeds) == 0 {
+		for i := int64(0); i < 20; i++ {
+			cfg.Seeds = append(cfg.Seeds, i+1)
+		}
+	}
+	if cfg.Model == (NodeModel{}) {
+		cfg.Model = DefaultNodeModel()
+	}
+	if cfg.EpsilonA == 0 {
+		cfg.EpsilonA = 0.9
+	}
+	params := cfg.Model.toParams()
+
+	// TOLERANCE strategies: exact DP recovery thresholds + LP replication.
+	dp, err := recovery.SolveDP(params, recovery.DPConfig{DeltaR: cfg.DeltaR, GridSize: 300})
+	if err != nil {
+		return nil, err
+	}
+	f := (cfg.N1 - 1) / 2
+	if f > 2 {
+		f = 2
+	}
+	if f < 1 {
+		f = 1
+	}
+	rng := rand.New(rand.NewSource(17))
+	q, err := cmdp.EstimateHealthyProb(rng, params, dp.Strategy(cfg.DeltaR), 100, 200, cfg.DeltaR)
+	if err != nil {
+		return nil, err
+	}
+	smax := 13
+	repModel, err := cmdp.NewBinomialModel(smax, f, cfg.EpsilonA, q, 0)
+	if err != nil {
+		return nil, err
+	}
+	repSol, err := cmdp.Solve(repModel)
+	if err != nil {
+		return nil, err
+	}
+	tolerancePolicy, err := baselines.NewTolerance(dp.Strategy(cfg.DeltaR), repSol)
+	if err != nil {
+		return nil, err
+	}
+
+	policies := []baselines.Policy{
+		tolerancePolicy,
+		baselines.NoRecovery{},
+		baselines.Periodic{},
+		baselines.PeriodicAdaptive{TargetN: cfg.N1},
+	}
+	out := make([]StrategyMetrics, 0, len(policies))
+	for _, pol := range policies {
+		agg, err := emulation.RunSeeds(emulation.Scenario{
+			N1:     cfg.N1,
+			SMax:   smax,
+			K:      1,
+			F:      f,
+			DeltaR: cfg.DeltaR,
+			Steps:  cfg.Steps,
+			Params: params,
+			Policy: pol,
+		}, cfg.Seeds)
+		if err != nil {
+			return nil, fmt.Errorf("tolerance: evaluate %s: %w", pol.Name(), err)
+		}
+		out = append(out, StrategyMetrics{
+			Strategy:          pol.Name(),
+			Availability:      agg.Availability.Mean,
+			AvailabilityCI:    agg.Availability.CI,
+			TimeToRecovery:    agg.TimeToRecovery.Mean,
+			TimeToRecoveryCI:  agg.TimeToRecovery.CI,
+			RecoveryFrequency: agg.RecoveryFrequency.Mean,
+			RecoveryFreqCI:    agg.RecoveryFrequency.CI,
+			AvgNodes:          agg.AvgNodes.Mean,
+		})
+	}
+	return out, nil
+}
+
+// DetectorSensitivity evaluates J* as a function of detector quality
+// (Fig 14): it scales the separation between Z(.|H) and Z(.|C) and solves
+// Problem 1 for each setting, returning (divergence, optimal cost) pairs.
+func DetectorSensitivity(m NodeModel, separations []float64) ([][2]float64, error) {
+	out := make([][2]float64, 0, len(separations))
+	for _, sep := range separations {
+		if sep <= 0 {
+			return nil, fmt.Errorf("%w: separation %v", ErrBadInput, sep)
+		}
+		p := m.toParams()
+		// Interpolate the compromised shape toward the healthy one as the
+		// separation shrinks: alphaC = 0.7 + sep*(1 - 0.7) etc.
+		alphaC := 0.7 + sep*(1.0-0.7)
+		betaC := 3 + sep*(0.7-3)
+		zc, err := dist.NewBetaBinomial(10, alphaC, betaC)
+		if err != nil {
+			return nil, err
+		}
+		p.ZCompromised = zc.Categorical()
+		sol, err := recovery.SolveDP(p, recovery.DPConfig{DeltaR: InfiniteDeltaR, GridSize: 200})
+		if err != nil {
+			return nil, err
+		}
+		div := dist.KLSmoothed(p.ZHealthy, p.ZCompromised, 1e-9)
+		out = append(out, [2]float64{div, sol.AvgCost})
+	}
+	return out, nil
+}
