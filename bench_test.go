@@ -7,6 +7,7 @@ package tolerance
 // prints the full rows/series and supports larger budgets.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"tolerance/internal/cmdp"
 	"tolerance/internal/dist"
 	"tolerance/internal/emulation"
+	"tolerance/internal/fleet"
 	"tolerance/internal/ids"
 	"tolerance/internal/minbft"
 	"tolerance/internal/nodemodel"
@@ -350,6 +352,50 @@ func BenchmarkFig18MetricDivergence(b *testing.B) {
 		if ranks[0].Metric != ids.MetricAlerts {
 			b.Fatal("alerts not top-ranked")
 		}
+	}
+}
+
+// BenchmarkFleet measures the scenario-fleet engine's throughput
+// (scenarios/sec) at growing worker counts — the parallel-speedup tracking
+// metric for grid evaluations. The strategy cache is shared across
+// iterations so the numbers reflect steady-state scenario execution, not
+// one-time control-problem solves.
+func BenchmarkFleet(b *testing.B) {
+	suite := fleet.Suite{
+		Name:         "bench",
+		Seed:         1,
+		SeedsPerCell: 1,
+		Steps:        100,
+		FitSamples:   500,
+		AttackRates:  []float64{0.05, 0.1},
+		N1s:          []int{3, 6},
+		DeltaRs:      []int{15, 25},
+		Policies: []fleet.PolicyKind{
+			fleet.PolicyTolerance, fleet.PolicyNoRecovery,
+			fleet.PolicyPeriodic, fleet.PolicyPeriodicAdaptive,
+		},
+	}
+	scenarios := suite.NumScenarios()
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cache := fleet.NewStrategyCache()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(context.Background(), suite, fleet.Config{
+					Workers: workers,
+					Cache:   cache,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Scenarios != scenarios {
+					b.Fatalf("ran %d scenarios, want %d", res.Scenarios, scenarios)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*scenarios)/b.Elapsed().Seconds(), "scenarios/s")
+		})
 	}
 }
 

@@ -55,7 +55,8 @@ func run() error {
 			return err
 		}
 		rng := rand.New(rand.NewSource(17))
-		q, err := cmdp.EstimateHealthyProb(rng, params, dp.Strategy(*deltaR), 100, 200, *deltaR)
+		q, err := cmdp.EstimateHealthyProb(rng, params, dp.Strategy(*deltaR),
+			cmdp.DefaultEstimateEpisodes, cmdp.DefaultEstimateHorizon, *deltaR)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module tolerance
+
+go 1.24

@@ -147,6 +147,21 @@ assumptionD:
 	return rep, nil
 }
 
+// Fingerprint returns a canonical hash over everything that determines the
+// occupancy-measure LP solution: the dimensions, the availability bound and
+// the transition kernel bit-for-bit. Two models with equal fingerprints pose
+// the same Algorithm 2 problem, which is what replication-strategy caches
+// key on.
+func (m *Model) Fingerprint() string {
+	values := []float64{float64(m.SMax), float64(m.F), m.EpsilonA}
+	for _, action := range m.FS {
+		for _, row := range action {
+			values = append(values, row...)
+		}
+	}
+	return dist.Fingerprint(values...)
+}
+
 // tailSum returns sum_{s' >= s} fS(s' | sHat, a).
 func (m *Model) tailSum(a, sHat, s int) float64 {
 	t := 0.0
@@ -202,6 +217,14 @@ func NewBinomialModel(smax, f int, epsilonA, q, eps float64) (*Model, error) {
 	}
 	return m, nil
 }
+
+// Default Monte-Carlo budget for EstimateHealthyProb — the Table 8
+// evaluation setting shared by the Compare facade, the fleet strategy cache
+// and cmd/tolerance-sim, so all paths estimate q under the same protocol.
+const (
+	DefaultEstimateEpisodes = 100
+	DefaultEstimateHorizon  = 200
+)
 
 // EstimateHealthyProb estimates q — the per-step probability that a node is
 // healthy at the next step given it is healthy now — by simulating

@@ -1,0 +1,321 @@
+// Package dist provides the discrete probability distributions used across
+// the reproduction: categorical distributions over alert counts (the
+// observation spaces of eq. 3), the Beta-Binomial family of Table 8, the
+// binomial pmf of the replication CMDP (eq. 8), empirical maximum-likelihood
+// fits (§VIII-A, Ẑ with M samples), Kullback-Leibler divergences (Fig 14,
+// Fig 18), and the elementary samplers of the emulation.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadDistribution is returned for invalid distribution parameters.
+var ErrBadDistribution = errors.New("dist: bad distribution")
+
+// Categorical is a probability distribution over {0, ..., n-1}.
+type Categorical struct {
+	probs []float64
+	cdf   []float64
+}
+
+// NewCategorical validates and normalizes a probability vector.
+func NewCategorical(probs []float64) (*Categorical, error) {
+	if len(probs) == 0 {
+		return nil, fmt.Errorf("%w: empty support", ErrBadDistribution)
+	}
+	sum := 0.0
+	for i, p := range probs {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("%w: prob[%d] = %v", ErrBadDistribution, i, p)
+		}
+		sum += p
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("%w: zero total mass", ErrBadDistribution)
+	}
+	c := &Categorical{
+		probs: make([]float64, len(probs)),
+		cdf:   make([]float64, len(probs)),
+	}
+	acc := 0.0
+	for i, p := range probs {
+		c.probs[i] = p / sum
+		acc += c.probs[i]
+		c.cdf[i] = acc
+	}
+	c.cdf[len(c.cdf)-1] = 1
+	return c, nil
+}
+
+// MustCategorical is NewCategorical panicking on error; for literals in
+// tests and defaults.
+func MustCategorical(probs []float64) *Categorical {
+	c, err := NewCategorical(probs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the support size.
+func (c *Categorical) Len() int { return len(c.probs) }
+
+// Prob returns P[X = o], zero outside the support.
+func (c *Categorical) Prob(o int) float64 {
+	if o < 0 || o >= len(c.probs) {
+		return 0
+	}
+	return c.probs[o]
+}
+
+// Probs returns a copy of the probability vector.
+func (c *Categorical) Probs() []float64 {
+	return append([]float64(nil), c.probs...)
+}
+
+// Mean returns E[X].
+func (c *Categorical) Mean() float64 {
+	m := 0.0
+	for o, p := range c.probs {
+		m += float64(o) * p
+	}
+	return m
+}
+
+// Sample draws one value by inverse-CDF lookup (one rng.Float64 per draw).
+func (c *Categorical) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(c.cdf, u)
+}
+
+// BetaBinomial is the BetaBin(n, alpha, beta) distribution over {0, ..., n}
+// — the observation family of the paper's numerical evaluation (Table 8).
+type BetaBinomial struct {
+	n           int
+	alpha, beta float64
+}
+
+// NewBetaBinomial validates the parameters.
+func NewBetaBinomial(n int, alpha, beta float64) (*BetaBinomial, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: beta-binomial n = %d", ErrBadDistribution, n)
+	}
+	if alpha <= 0 || beta <= 0 || math.IsNaN(alpha) || math.IsNaN(beta) {
+		return nil, fmt.Errorf("%w: beta-binomial shape (%v, %v)", ErrBadDistribution, alpha, beta)
+	}
+	return &BetaBinomial{n: n, alpha: alpha, beta: beta}, nil
+}
+
+// MustBetaBinomial is NewBetaBinomial panicking on error.
+func MustBetaBinomial(n int, alpha, beta float64) *BetaBinomial {
+	b, err := NewBetaBinomial(n, alpha, beta)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Prob returns the pmf P[X = k] = C(n,k) B(k+alpha, n-k+beta) / B(alpha, beta).
+func (b *BetaBinomial) Prob(k int) float64 {
+	if k < 0 || k > b.n {
+		return 0
+	}
+	ln := lnChoose(b.n, k) +
+		lnBeta(float64(k)+b.alpha, float64(b.n-k)+b.beta) -
+		lnBeta(b.alpha, b.beta)
+	return math.Exp(ln)
+}
+
+// Categorical tabulates the pmf over {0, ..., n}.
+func (b *BetaBinomial) Categorical() *Categorical {
+	probs := make([]float64, b.n+1)
+	for k := range probs {
+		probs[k] = b.Prob(k)
+	}
+	return MustCategorical(probs)
+}
+
+// Binomial returns the pmf P[Binomial(n, p) = k].
+func Binomial(n int, p float64, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return 0
+	}
+	switch {
+	case p <= 0:
+		if k == 0 {
+			return 1
+		}
+		return 0
+	case p >= 1:
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	ln := lnChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(ln)
+}
+
+// GeometricCDF returns P[T <= t] = 1 - (1-p)^t for a geometric waiting time
+// with per-step success probability p.
+func GeometricCDF(p float64, t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-p, float64(t))
+}
+
+// SampleBernoulli draws a Bernoulli(p) outcome.
+func SampleBernoulli(rng *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.Float64() < p
+}
+
+// SamplePoisson draws a Poisson(lambda) count with Knuth's product-of-
+// uniforms method, splitting large rates by Poisson additivity to keep the
+// running product away from underflow.
+func SamplePoisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return 0
+	}
+	const chunk = 30
+	n := 0
+	for lambda > chunk {
+		n += samplePoissonKnuth(rng, chunk)
+		lambda -= chunk
+	}
+	return n + samplePoissonKnuth(rng, lambda)
+}
+
+func samplePoissonKnuth(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// KLSmoothed returns the Kullback-Leibler divergence D_KL(p || q) in nats
+// with the q-side probabilities floored at eps, so empirical distributions
+// with empty cells yield a finite divergence (Fig 14, Fig 18).
+func KLSmoothed(p, q *Categorical, eps float64) float64 {
+	if p == nil || q == nil {
+		return math.NaN()
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	d := 0.0
+	n := p.Len()
+	for o := 0; o < n; o++ {
+		po := p.Prob(o)
+		if po <= 0 {
+			continue
+		}
+		qo := q.Prob(o)
+		if qo < eps {
+			qo = eps
+		}
+		d += po * math.Log(po/qo)
+	}
+	return d
+}
+
+// Empirical is a maximum-likelihood fit of a categorical distribution from
+// samples (the Ẑ estimation of §VIII-A).
+type Empirical struct {
+	counts []int
+	n      int
+}
+
+// FitEmpirical draws m samples from src and tabulates the MLE over
+// {0, ..., support-1}. The source support must fit inside the target one.
+func FitEmpirical(rng *rand.Rand, src *Categorical, support, m int) (*Empirical, error) {
+	if src == nil {
+		return nil, fmt.Errorf("%w: nil source", ErrBadDistribution)
+	}
+	if support < src.Len() {
+		return nil, fmt.Errorf("%w: support %d < source support %d",
+			ErrBadDistribution, support, src.Len())
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("%w: sample count %d", ErrBadDistribution, m)
+	}
+	e := &Empirical{counts: make([]int, support), n: m}
+	for i := 0; i < m; i++ {
+		e.counts[src.Sample(rng)]++
+	}
+	return e, nil
+}
+
+// Counts returns a copy of the per-value sample counts.
+func (e *Empirical) Counts() []int {
+	return append([]int(nil), e.counts...)
+}
+
+// Samples returns the number of samples the fit is based on.
+func (e *Empirical) Samples() int { return e.n }
+
+// Distribution returns the MLE categorical distribution (relative
+// frequencies; cells with no samples have probability zero).
+func (e *Empirical) Distribution() *Categorical {
+	probs := make([]float64, len(e.counts))
+	for i, c := range e.counts {
+		probs[i] = float64(c) / float64(e.n)
+	}
+	return MustCategorical(probs)
+}
+
+// Fingerprint hashes a float64 sequence bit-for-bit into a canonical
+// 16-hex-digit FNV-1a digest. Model types use it to build strategy-cache
+// keys: two parameter sets with equal fingerprints pose identical control
+// problems.
+func Fingerprint(values ...float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range values {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// lnChoose returns ln C(n, k).
+func lnChoose(n, k int) float64 {
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n)+1) - lg(float64(k)+1) - lg(float64(n-k)+1)
+}
+
+// lnBeta returns ln B(x, y).
+func lnBeta(x, y float64) float64 {
+	lx, _ := math.Lgamma(x)
+	ly, _ := math.Lgamma(y)
+	lxy, _ := math.Lgamma(x + y)
+	return lx + ly - lxy
+}

@@ -220,6 +220,66 @@ func TestRunDeterministicForSeed(t *testing.T) {
 	}
 }
 
+func TestRunReportsAvgCost(t *testing.T) {
+	// NO-RECOVERY never pays the recovery cost, so its per-node-step cost is
+	// eta times the compromised fraction — strictly positive and above
+	// TOLERANCE's optimized cost in this regime.
+	sNo := toleranceScenario(t, 6, recovery.InfiniteDeltaR, 5)
+	sNo.Policy = baselines.NoRecovery{}
+	mNo, err := Run(sNo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mNo.AvgCost <= 0 || mNo.AvgCost > sNo.Params.Eta {
+		t.Errorf("NO-RECOVERY AvgCost = %v, want in (0, eta]", mNo.AvgCost)
+	}
+	sTol := toleranceScenario(t, 6, recovery.InfiniteDeltaR, 5)
+	mTol, err := Run(sTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mTol.AvgCost <= 0 {
+		t.Errorf("TOLERANCE AvgCost = %v, want positive", mTol.AvgCost)
+	}
+	if mTol.AvgCost >= mNo.AvgCost {
+		t.Errorf("TOLERANCE cost %v not below NO-RECOVERY %v", mTol.AvgCost, mNo.AvgCost)
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	xs := []float64{0.3, 0.7, 0.45, 0.9, 0.12, 0.5}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	variance := 0.0
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs) - 1)
+	if math.Abs(w.Mean-mean) > 1e-12 {
+		t.Errorf("Welford mean %v, want %v", w.Mean, mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-12 {
+		t.Errorf("Welford variance %v, want %v", w.Variance(), variance)
+	}
+	sum := w.Summary()
+	se := math.Sqrt(variance / float64(len(xs)))
+	if want := tCritical95(len(xs)-1) * se; math.Abs(sum.CI-want) > 1e-12 {
+		t.Errorf("Welford CI %v, want %v", sum.CI, want)
+	}
+	var single Welford
+	single.Add(0.4)
+	if s := single.Summary(); s.Mean != 0.4 || s.CI != 0 || single.Variance() != 0 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
 func TestTCritical95(t *testing.T) {
 	if v := tCritical95(19); v != 2.093 {
 		t.Errorf("t(19) = %v, want 2.093 (the paper's 20-seed protocol)", v)

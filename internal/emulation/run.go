@@ -61,13 +61,7 @@ func (s *Scenario) applyDefaults() error {
 		s.K = 1
 	}
 	if s.F == 0 {
-		s.F = (s.N1 - 1) / 2
-		if s.F > 2 {
-			s.F = 2
-		}
-		if s.F < 1 {
-			s.F = 1
-		}
+		s.F = DefaultThreshold(s.N1)
 	}
 	if s.DeltaR < 0 {
 		return fmt.Errorf("%w: deltaR = %d", ErrBadScenario, s.DeltaR)
@@ -92,6 +86,20 @@ func (s *Scenario) applyDefaults() error {
 	return nil
 }
 
+// DefaultThreshold is the paper's evaluation rule for the tolerance
+// threshold: f = min((N1-1)/2, 2), at least 1 (Table 8). Scenario
+// defaulting and the fleet grid expansion both use it.
+func DefaultThreshold(n1 int) int {
+	f := (n1 - 1) / 2
+	if f > 2 {
+		f = 2
+	}
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
 // Metrics aggregates one run's evaluation quantities (§III-C, Table 7).
 type Metrics struct {
 	// Availability is T(A): the fraction of steps where at most f nodes
@@ -108,6 +116,9 @@ type Metrics struct {
 	RecoveryFrequency float64
 	// AvgNodes is the mean replication factor over the run.
 	AvgNodes float64
+	// AvgCost is the eq. (5) control cost per node-step: eta per
+	// compromised waiting node plus 1 per recovery.
+	AvgCost float64
 	// Intrusions counts completed compromises.
 	Intrusions int
 	// Recoveries counts controller recoveries.
@@ -181,6 +192,7 @@ func Run(s Scenario) (*Metrics, error) {
 	quorumSteps := 0
 	nodeSteps := 0
 	totalNodes := 0.0
+	costSum := 0.0
 	obsSum, obsCount := 0.0, 0
 	sessions := 0
 
@@ -323,6 +335,12 @@ func Run(s Scenario) (*Metrics, error) {
 		// stage 4, so they are exactly this step's eviction count).
 		compromised := 0
 		for _, n := range nodes {
+			switch {
+			case n.lastAction == nodemodel.Recover:
+				costSum++ // eq. (5): a recovery costs 1
+			case n.state == nodemodel.Compromised:
+				costSum += s.Params.Eta // eq. (5): waiting while compromised
+			}
 			if n.state == nodemodel.Compromised {
 				compromised++
 			}
@@ -390,6 +408,7 @@ func Run(s Scenario) (*Metrics, error) {
 	m.QuorumAvailability = float64(quorumSteps) / float64(s.Steps)
 	if nodeSteps > 0 {
 		m.RecoveryFrequency = float64(m.Recoveries) / float64(nodeSteps)
+		m.AvgCost = costSum / float64(nodeSteps)
 	}
 	if len(recoveryTimes) > 0 {
 		sum := 0.0
@@ -440,6 +459,44 @@ type Summary struct {
 	CI   float64
 }
 
+// Welford accumulates a running mean and variance in one pass (Welford's
+// online algorithm), so multi-seed and fleet-scale evaluations can fold
+// per-run metrics into summaries without retaining the samples. Folding the
+// same values in the same order always produces bit-identical results.
+type Welford struct {
+	// Count is the number of folded samples.
+	Count int64
+	// Mean is the running sample mean.
+	Mean float64
+	// M2 is the running sum of squared deviations from the mean.
+	M2 float64
+}
+
+// Add folds one sample.
+func (w *Welford) Add(x float64) {
+	w.Count++
+	delta := x - w.Mean
+	w.Mean += delta / float64(w.Count)
+	w.M2 += delta * (x - w.Mean)
+}
+
+// Variance returns the sample variance (zero below two samples).
+func (w *Welford) Variance() float64 {
+	if w.Count < 2 {
+		return 0
+	}
+	return w.M2 / float64(w.Count-1)
+}
+
+// Summary returns the mean with its 95% Student-t confidence half-width.
+func (w *Welford) Summary() Summary {
+	if w.Count < 2 {
+		return Summary{Mean: w.Mean}
+	}
+	se := math.Sqrt(w.Variance() / float64(w.Count))
+	return Summary{Mean: w.Mean, CI: tCritical95(int(w.Count)-1) * se}
+}
+
 // Aggregate is the multi-seed result for one strategy/configuration cell of
 // Table 7.
 type Aggregate struct {
@@ -448,6 +505,43 @@ type Aggregate struct {
 	TimeToRecovery     Summary
 	RecoveryFrequency  Summary
 	AvgNodes           Summary
+	Cost               Summary
+}
+
+// Accumulator streams per-run Metrics into an Aggregate (one Welford
+// accumulator per metric).
+type Accumulator struct {
+	Availability       Welford
+	QuorumAvailability Welford
+	TimeToRecovery     Welford
+	RecoveryFrequency  Welford
+	AvgNodes           Welford
+	Cost               Welford
+}
+
+// Add folds one run's metrics.
+func (a *Accumulator) Add(m *Metrics) {
+	a.Availability.Add(m.Availability)
+	a.QuorumAvailability.Add(m.QuorumAvailability)
+	a.TimeToRecovery.Add(m.TimeToRecovery)
+	a.RecoveryFrequency.Add(m.RecoveryFrequency)
+	a.AvgNodes.Add(m.AvgNodes)
+	a.Cost.Add(m.AvgCost)
+}
+
+// Runs returns the number of folded runs.
+func (a *Accumulator) Runs() int64 { return a.Availability.Count }
+
+// Aggregate summarizes the folded runs.
+func (a *Accumulator) Aggregate() *Aggregate {
+	return &Aggregate{
+		Availability:       a.Availability.Summary(),
+		QuorumAvailability: a.QuorumAvailability.Summary(),
+		TimeToRecovery:     a.TimeToRecovery.Summary(),
+		RecoveryFrequency:  a.RecoveryFrequency.Summary(),
+		AvgNodes:           a.AvgNodes.Summary(),
+		Cost:               a.Cost.Summary(),
+	}
 }
 
 // RunSeeds evaluates a scenario across seeds (the paper uses 20) and
@@ -456,7 +550,7 @@ func RunSeeds(base Scenario, seeds []int64) (*Aggregate, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("%w: no seeds", ErrBadScenario)
 	}
-	var avail, quorum, ttr, freq, avgNodes []float64
+	var acc Accumulator
 	for _, seed := range seeds {
 		s := base
 		s.Seed = seed
@@ -464,40 +558,9 @@ func RunSeeds(base Scenario, seeds []int64) (*Aggregate, error) {
 		if err != nil {
 			return nil, err
 		}
-		avail = append(avail, m.Availability)
-		quorum = append(quorum, m.QuorumAvailability)
-		ttr = append(ttr, m.TimeToRecovery)
-		freq = append(freq, m.RecoveryFrequency)
-		avgNodes = append(avgNodes, m.AvgNodes)
+		acc.Add(m)
 	}
-	return &Aggregate{
-		Availability:       summarize(avail),
-		QuorumAvailability: summarize(quorum),
-		TimeToRecovery:     summarize(ttr),
-		RecoveryFrequency:  summarize(freq),
-		AvgNodes:           summarize(avgNodes),
-	}, nil
-}
-
-// summarize computes mean and a 95% Student-t confidence half-width.
-func summarize(xs []float64) Summary {
-	n := float64(len(xs))
-	mean := 0.0
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= n
-	if len(xs) < 2 {
-		return Summary{Mean: mean}
-	}
-	variance := 0.0
-	for _, x := range xs {
-		d := x - mean
-		variance += d * d
-	}
-	variance /= n - 1
-	se := math.Sqrt(variance / n)
-	return Summary{Mean: mean, CI: tCritical95(len(xs)-1) * se}
+	return acc.Aggregate(), nil
 }
 
 // tCritical95 approximates the two-sided 95% Student-t critical value by

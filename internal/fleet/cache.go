@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"tolerance/internal/cmdp"
+	"tolerance/internal/dist"
+	"tolerance/internal/nodemodel"
+	"tolerance/internal/recovery"
+)
+
+// CacheStats counts solves (cache misses that ran a solver) and hits
+// (requests served from a cached or in-flight computation). The counts are
+// deterministic for a given workload: solves equals the number of distinct
+// control problems, independent of worker count.
+type CacheStats struct {
+	// RecoverySolves counts distinct Problem 1 DP solves.
+	RecoverySolves int64 `json:"recoverySolves"`
+	// RecoveryHits counts recovery requests answered from cache.
+	RecoveryHits int64 `json:"recoveryHits"`
+	// ReplicationSolves counts distinct Problem 2 occupancy-measure LPs.
+	ReplicationSolves int64 `json:"replicationSolves"`
+	// ReplicationHits counts replication requests answered from cache.
+	ReplicationHits int64 `json:"replicationHits"`
+}
+
+// cacheEntry is a single-flight memoization slot: the first goroutine to
+// claim the key computes, later ones wait on the sync.Once and share the
+// result.
+type cacheEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (e *cacheEntry[T]) compute(f func() (T, error)) (T, error) {
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err
+}
+
+// StrategyCache memoizes the two control-problem solvers keyed by
+// canonicalized model parameters (nodemodel.Params.Fingerprint,
+// recovery.DPConfig.Normalized, cmdp.Model.Fingerprint). It is safe for
+// concurrent use; duplicate concurrent requests for one key run the solver
+// once.
+type StrategyCache struct {
+	mu          sync.Mutex
+	recovery    map[string]*cacheEntry[*recovery.DPSolution]
+	replication map[string]*cacheEntry[*cmdp.Solution]
+	lp          map[string]*cacheEntry[*cmdp.Solution]
+
+	recoverySolves    atomic.Int64
+	recoveryHits      atomic.Int64
+	replicationSolves atomic.Int64
+	replicationHits   atomic.Int64
+}
+
+// NewStrategyCache returns an empty cache.
+func NewStrategyCache() *StrategyCache {
+	return &StrategyCache{
+		recovery:    make(map[string]*cacheEntry[*recovery.DPSolution]),
+		replication: make(map[string]*cacheEntry[*cmdp.Solution]),
+		lp:          make(map[string]*cacheEntry[*cmdp.Solution]),
+	}
+}
+
+// Stats snapshots the hit/solve counters.
+func (c *StrategyCache) Stats() CacheStats {
+	return CacheStats{
+		RecoverySolves:    c.recoverySolves.Load(),
+		RecoveryHits:      c.recoveryHits.Load(),
+		ReplicationSolves: c.replicationSolves.Load(),
+		ReplicationHits:   c.replicationHits.Load(),
+	}
+}
+
+// Recovery returns the Problem 1 DP solution for the model and config,
+// solving at most once per distinct (params, config) pair.
+func (c *StrategyCache) Recovery(p nodemodel.Params, cfg recovery.DPConfig) (*recovery.DPSolution, error) {
+	n := cfg.Normalized()
+	key := fmt.Sprintf("%s|dr=%d|g=%d|b=%d|v=%d",
+		p.Fingerprint(), n.DeltaR, n.GridSize, n.BisectIterations, n.MaxValueIterations)
+
+	c.mu.Lock()
+	entry, ok := c.recovery[key]
+	if !ok {
+		entry = &cacheEntry[*recovery.DPSolution]{}
+		c.recovery[key] = entry
+	}
+	c.mu.Unlock()
+
+	if ok {
+		c.recoveryHits.Add(1)
+	}
+	return entry.compute(func() (*recovery.DPSolution, error) {
+		c.recoverySolves.Add(1)
+		return recovery.SolveDP(p, cfg)
+	})
+}
+
+// Replication returns the Problem 2 solution for the node model under the
+// given recovery strategy and system shape. The healthy-node probability q
+// is estimated by simulating Problem 1 with an rng seeded from the cache
+// key, so the result is deterministic; the occupancy-measure LP is further
+// deduplicated across input keys by the assembled model's fingerprint.
+func (c *StrategyCache) Replication(p nodemodel.Params, rec *recovery.ThresholdStrategy, smax, f int, epsilonA float64, deltaR int) (*cmdp.Solution, error) {
+	// The recovery strategy shapes q, so its thresholds are part of the
+	// key: two callers with equal node params but different strategies
+	// (e.g. DP solutions at different grid sizes) must not share a slot.
+	key := fmt.Sprintf("%s|rec=%s|dr=%d|smax=%d|f=%d|eps=%x",
+		p.Fingerprint(), strategyFingerprint(rec), deltaR, smax, f, epsilonA)
+
+	c.mu.Lock()
+	entry, ok := c.replication[key]
+	if !ok {
+		entry = &cacheEntry[*cmdp.Solution]{}
+		c.replication[key] = entry
+	}
+	c.mu.Unlock()
+
+	if ok {
+		c.replicationHits.Add(1)
+	}
+	return entry.compute(func() (*cmdp.Solution, error) {
+		rng := rand.New(rand.NewSource(seedFromKey(key)))
+		q, err := cmdp.EstimateHealthyProb(rng, p, rec,
+			cmdp.DefaultEstimateEpisodes, cmdp.DefaultEstimateHorizon, deltaR)
+		if err != nil {
+			return nil, err
+		}
+		model, err := cmdp.NewBinomialModel(smax, f, epsilonA, q, 0)
+		if err != nil {
+			return nil, err
+		}
+		return c.solveLP(model)
+	})
+}
+
+// solveLP memoizes cmdp.Solve by the model fingerprint.
+func (c *StrategyCache) solveLP(model *cmdp.Model) (*cmdp.Solution, error) {
+	key := model.Fingerprint()
+
+	c.mu.Lock()
+	entry, ok := c.lp[key]
+	if !ok {
+		entry = &cacheEntry[*cmdp.Solution]{}
+		c.lp[key] = entry
+	}
+	c.mu.Unlock()
+
+	// The counter increments inside the once-guarded closure: exactly one
+	// caller's closure runs, so the count is one per distinct LP no matter
+	// which goroutine wins the race into compute.
+	return entry.compute(func() (*cmdp.Solution, error) {
+		c.replicationSolves.Add(1)
+		return cmdp.Solve(model)
+	})
+}
+
+// seedFromKey hashes a cache key into a deterministic rng seed.
+func seedFromKey(key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int64(h.Sum64())
+}
+
+// strategyFingerprint canonicalizes a threshold strategy for cache keys.
+func strategyFingerprint(rec *recovery.ThresholdStrategy) string {
+	if rec == nil {
+		return "nil"
+	}
+	values := append([]float64{float64(rec.DeltaR)}, rec.Thresholds...)
+	return dist.Fingerprint(values...)
+}

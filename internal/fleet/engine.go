@@ -1,0 +1,240 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tolerance/internal/baselines"
+	"tolerance/internal/emulation"
+	"tolerance/internal/recovery"
+)
+
+// dpConfigFor is the fleet's Problem 1 solver configuration (the GridSize
+// 300 of the Compare harness — accurate thresholds at grid-sweep speed).
+func dpConfigFor(deltaR int) recovery.DPConfig {
+	return recovery.DPConfig{DeltaR: deltaR, GridSize: 300}
+}
+
+// Config tunes one fleet execution.
+type Config struct {
+	// Workers bounds the worker pool (default min(GOMAXPROCS, 8)).
+	Workers int
+	// Cache supplies a shared strategy cache; nil creates a fresh one.
+	// Sharing a cache across suite runs with overlapping grids avoids
+	// re-solving common control problems.
+	Cache *StrategyCache
+	// Progress, when set, is called after every folded scenario with the
+	// number folded so far and the total (from the aggregator goroutine).
+	Progress func(done, total int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.Cache == nil {
+		c.Cache = NewStrategyCache()
+	}
+	return c
+}
+
+// CellResult is one grid cell's streamed aggregate over its seeds.
+type CellResult struct {
+	Cell Cell `json:"cell"`
+	// Runs is the number of scenario runs folded into the aggregate.
+	Runs int64 `json:"runs"`
+	// Aggregate holds the Welford summaries: T(A), T(A,quorum), T(R),
+	// F(R), average nodes and average eq. (5) cost, each with a 95% CI.
+	Aggregate emulation.Aggregate `json:"aggregate"`
+}
+
+// Result is a full fleet execution report. It contains only deterministic
+// quantities: running the same suite with any worker count produces a
+// byte-identical serialization.
+type Result struct {
+	Suite     string       `json:"suite"`
+	Seed      int64        `json:"seed"`
+	Scenarios int          `json:"scenarios"`
+	Cells     []CellResult `json:"cells"`
+	Cache     CacheStats   `json:"cache"`
+}
+
+// scenarioSeed derives a scenario's rng seed from the suite seed and the
+// scenario index with a splitmix64-style mix, so neighbouring indices get
+// decorrelated streams and results never depend on worker scheduling.
+func scenarioSeed(suiteSeed int64, index int) int64 {
+	x := uint64(suiteSeed)*0x9e3779b97f4a7c15 + uint64(index) + 1
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// Run expands the suite and executes every scenario on a bounded worker
+// pool. Per-run metrics stream into per-cell Welford accumulators in strict
+// scenario-index order, so the aggregates are bit-identical for any worker
+// count; with the strategy cache each distinct control problem is solved
+// exactly once.
+func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
+	suite = suite.withDefaults()
+	if err := suite.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	cells := suite.Cells()
+	total := len(cells) * suite.SeedsPerCell
+	if total == 0 {
+		return nil, fmt.Errorf("%w: empty grid", ErrBadSuite)
+	}
+
+	type job struct {
+		index int
+		cell  *Cell
+	}
+	type outcome struct {
+		index   int
+		cell    int
+		metrics *emulation.Metrics
+		err     error
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan job)
+	outcomes := make(chan outcome, cfg.Workers)
+
+	// Dispatcher: scenarios in index order (cell-major, seeds within).
+	go func() {
+		defer close(jobs)
+		for i := range cells {
+			for s := 0; s < suite.SeedsPerCell; s++ {
+				select {
+				case jobs <- job{index: i*suite.SeedsPerCell + s, cell: &cells[i]}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	// Workers: construct the cell's policy through the cache, then run.
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				policy, err := cfg.Cache.policyFor(*j.cell, suite.EpsilonA)
+				var m *emulation.Metrics
+				if err == nil {
+					sc := j.cell.scenario(policy,
+						scenarioSeed(suite.Seed, j.index), suite.Steps, suite.FitSamples)
+					m, err = emulation.Run(sc)
+				}
+				select {
+				case outcomes <- outcome{index: j.index, cell: j.cell.Index, metrics: m, err: err}:
+				case <-ctx.Done():
+					return
+				}
+				if err != nil {
+					cancel() // fail fast; the aggregator reports the error
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	// Aggregator: fold in strict scenario-index order. Out-of-order
+	// completions park in a small reorder buffer (bounded in practice by
+	// the worker count) so the Welford folds — and therefore every floating
+	// point result — are independent of scheduling.
+	accs := make([]emulation.Accumulator, len(cells))
+	pending := make(map[int]outcome)
+	next := 0
+	var firstErr error
+	for oc := range outcomes {
+		if oc.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fleet: scenario %d (cell %d): %w", oc.index, oc.cell, oc.err)
+			}
+			continue
+		}
+		pending[oc.index] = oc
+		for {
+			got, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			accs[got.cell].Add(got.metrics)
+			next++
+			if cfg.Progress != nil {
+				cfg.Progress(next, total)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if next != total {
+		return nil, fmt.Errorf("fleet: folded %d of %d scenarios", next, total)
+	}
+
+	out := &Result{
+		Suite:     suite.Name,
+		Seed:      suite.Seed,
+		Scenarios: total,
+		Cells:     make([]CellResult, len(cells)),
+		Cache:     cfg.Cache.Stats(),
+	}
+	for i := range cells {
+		out.Cells[i] = CellResult{
+			Cell:      cells[i],
+			Runs:      accs[i].Runs(),
+			Aggregate: *accs[i].Aggregate(),
+		}
+	}
+	return out, nil
+}
+
+// policyFor constructs the cell's control policy, routing the two control
+// problems through the cache for TOLERANCE cells.
+func (c *StrategyCache) policyFor(cell Cell, epsilonA float64) (baselines.Policy, error) {
+	switch cell.Policy {
+	case PolicyNoRecovery:
+		return baselines.NoRecovery{}, nil
+	case PolicyPeriodic:
+		return baselines.Periodic{}, nil
+	case PolicyPeriodicAdaptive:
+		return baselines.PeriodicAdaptive{TargetN: cell.N1}, nil
+	case PolicyTolerance:
+		dp, err := c.Recovery(cell.params(), dpConfigFor(cell.DeltaR))
+		if err != nil {
+			return nil, err
+		}
+		rec := dp.Strategy(cell.DeltaR)
+		rep, err := c.Replication(cell.params(), rec, cell.SMax, cell.F, epsilonA, cell.DeltaR)
+		if err != nil {
+			return nil, err
+		}
+		return baselines.NewTolerance(rec, rep)
+	default:
+		return nil, fmt.Errorf("%w: policy %q", ErrBadSuite, cell.Policy)
+	}
+}

@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"tolerance/internal/emulation"
+)
+
+// testSuite is a small grid that still exercises multiple cells, policies
+// and out-of-order completion under parallelism.
+func testSuite() Suite {
+	return Suite{
+		Name:         "test",
+		Seed:         7,
+		SeedsPerCell: 2,
+		Steps:        80,
+		FitSamples:   300,
+		AttackRates:  []float64{0.1},
+		N1s:          []int{3, 6},
+		DeltaRs:      []int{15},
+		Policies: []PolicyKind{
+			PolicyTolerance, PolicyNoRecovery, PolicyPeriodic, PolicyPeriodicAdaptive,
+		},
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the reproducibility contract: one
+// worker and eight workers must produce byte-identical serialized results.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	suite := testSuite()
+	r1, err := Run(context.Background(), suite, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(context.Background(), suite, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := json.Marshal(r8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b8) {
+		t.Errorf("1-worker and 8-worker results differ:\n%s\n%s", b1, b8)
+	}
+	if r1.Scenarios != suite.NumScenarios() {
+		t.Errorf("ran %d scenarios, want %d", r1.Scenarios, suite.NumScenarios())
+	}
+}
+
+// TestStrategyCacheSolvesEachProblemOnce checks the memoization contract:
+// a grid whose TOLERANCE cells share model parameters and DeltaR triggers
+// exactly one DP solve and one LP solve; adding a second DeltaR doubles the
+// solve count but nothing else does (seeds, workloads, N1 with equal f).
+func TestStrategyCacheSolvesEachProblemOnce(t *testing.T) {
+	suite := Suite{
+		Name:         "cache-test",
+		Seed:         3,
+		SeedsPerCell: 3,
+		Steps:        60,
+		FitSamples:   200,
+		AttackRates:  []float64{0.1},
+		// Two workloads and two system sizes with identical f = min((N1-1)/2, 2):
+		// neither changes the control problems.
+		Workloads: []emulation.BackgroundWorkload{
+			{Lambda: 20, MeanServiceSteps: 4},
+			{Lambda: 5, MeanServiceSteps: 10},
+		},
+		N1s:      []int{5, 6},
+		DeltaRs:  []int{15},
+		Policies: []PolicyKind{PolicyTolerance},
+	}
+	cache := NewStrategyCache()
+	res, err := Run(context.Background(), suite, Config{Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cache.Stats()
+	if stats.RecoverySolves != 1 {
+		t.Errorf("RecoverySolves = %d, want 1 (one distinct (params, DeltaR))", stats.RecoverySolves)
+	}
+	if stats.ReplicationSolves != 1 {
+		t.Errorf("ReplicationSolves = %d, want 1", stats.ReplicationSolves)
+	}
+	// 2 workloads x 2 N1s x 3 seeds = 12 TOLERANCE scenarios; all but the
+	// first request per problem must hit the cache.
+	wantRequests := int64(suite.NumScenarios())
+	if got := stats.RecoveryHits + stats.RecoverySolves; got != wantRequests {
+		t.Errorf("recovery requests = %d, want %d", got, wantRequests)
+	}
+	if res.Cache != stats {
+		t.Errorf("result snapshot %+v != cache stats %+v", res.Cache, stats)
+	}
+
+	// A second DeltaR is a second distinct control problem per solver.
+	suite.DeltaRs = []int{15, 25}
+	cache = NewStrategyCache()
+	if _, err := Run(context.Background(), suite, Config{Workers: 4, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	stats = cache.Stats()
+	if stats.RecoverySolves != 2 {
+		t.Errorf("RecoverySolves = %d, want 2 (two DeltaRs)", stats.RecoverySolves)
+	}
+	if stats.ReplicationSolves != 2 {
+		t.Errorf("ReplicationSolves = %d, want 2", stats.ReplicationSolves)
+	}
+}
+
+func TestRunResultShape(t *testing.T) {
+	suite := testSuite()
+	res, err := Run(context.Background(), suite, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != suite.NumCells() {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), suite.NumCells())
+	}
+	for i, c := range res.Cells {
+		if c.Cell.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Cell.Index)
+		}
+		if c.Runs != int64(suite.SeedsPerCell) {
+			t.Errorf("cell %d folded %d runs, want %d", i, c.Runs, suite.SeedsPerCell)
+		}
+		a := c.Aggregate
+		if a.Availability.Mean < 0 || a.Availability.Mean > 1 {
+			t.Errorf("cell %d availability %v", i, a.Availability.Mean)
+		}
+		if a.Cost.Mean < 0 {
+			t.Errorf("cell %d cost %v", i, a.Cost.Mean)
+		}
+	}
+	// The evaluation ordering of Table 7 must survive the fleet path:
+	// within one configuration, TOLERANCE is at least as available as
+	// NO-RECOVERY.
+	byPolicy := map[PolicyKind]float64{}
+	for _, c := range res.Cells {
+		if c.Cell.N1 == 6 {
+			byPolicy[c.Cell.Policy] = c.Aggregate.Availability.Mean
+		}
+	}
+	if byPolicy[PolicyTolerance] < byPolicy[PolicyNoRecovery] {
+		t.Errorf("TOLERANCE availability %v below NO-RECOVERY %v",
+			byPolicy[PolicyTolerance], byPolicy[PolicyNoRecovery])
+	}
+}
+
+func TestRunProgressAndCancellation(t *testing.T) {
+	suite := testSuite()
+	var calls int
+	var last int
+	_, err := Run(context.Background(), suite, Config{
+		Workers: 2,
+		Progress: func(done, total int) {
+			calls++
+			last = done
+			if total != suite.NumScenarios() {
+				t.Errorf("progress total = %d, want %d", total, suite.NumScenarios())
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != suite.NumScenarios() || last != suite.NumScenarios() {
+		t.Errorf("progress calls = %d, last = %d, want %d", calls, last, suite.NumScenarios())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, suite, Config{Workers: 2}); err == nil {
+		t.Error("cancelled context should fail")
+	}
+}
+
+func TestSuiteValidation(t *testing.T) {
+	bad := []Suite{
+		{AttackRates: []float64{0}},
+		{AttackRates: []float64{1.5}},
+		{CrashProfiles: []CrashProfile{{PC1: 0, PC2: 0.1}}},
+		{UpdateRates: []float64{-0.1}},
+		{Etas: []float64{0.5}},
+		{N1s: []int{0}},
+		{N1s: []int{99}},
+		{DeltaRs: []int{-1}},
+		{Policies: []PolicyKind{"NOPE"}},
+		{EpsilonA: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("suite %d should fail validation", i)
+		}
+	}
+	if err := (Suite{}).Validate(); err != nil {
+		t.Errorf("default suite invalid: %v", err)
+	}
+}
+
+func TestCellExpansionOrder(t *testing.T) {
+	s := Suite{
+		AttackRates: []float64{0.05, 0.1},
+		DeltaRs:     []int{15, 25},
+		Policies:    []PolicyKind{PolicyTolerance, PolicyPeriodic},
+	}
+	cells := s.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	// Policy is the innermost axis, then DeltaR, then the model axes.
+	if cells[0].Policy != PolicyTolerance || cells[1].Policy != PolicyPeriodic {
+		t.Error("policy not innermost")
+	}
+	if cells[0].DeltaR != 15 || cells[2].DeltaR != 25 {
+		t.Error("deltaR not second-innermost")
+	}
+	if cells[0].PA != 0.05 || cells[4].PA != 0.1 {
+		t.Error("attack rate not outermost")
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+	}
+	// f follows the paper's rule (shared with emulation.applyDefaults).
+	if f := emulation.DefaultThreshold(3); f != 1 {
+		t.Errorf("f(3) = %d", f)
+	}
+	if f := emulation.DefaultThreshold(9); f != 2 {
+		t.Errorf("f(9) = %d", f)
+	}
+	if f := emulation.DefaultThreshold(1); f != 1 {
+		t.Errorf("f(1) = %d", f)
+	}
+}
+
+func TestBuiltinSuites(t *testing.T) {
+	suites := Builtin()
+	if len(suites) < 3 {
+		t.Fatalf("%d built-in suites", len(suites))
+	}
+	seen := map[string]bool{}
+	for _, s := range suites {
+		if seen[s.Name] {
+			t.Errorf("duplicate suite %q", s.Name)
+		}
+		seen[s.Name] = true
+		if err := s.Validate(); err != nil {
+			t.Errorf("suite %q invalid: %v", s.Name, err)
+		}
+		if _, err := Lookup(s.Name); err != nil {
+			t.Errorf("Lookup(%q): %v", s.Name, err)
+		}
+	}
+	// The flagship suites are genuinely fleet-scale (>= 100 scenarios) and
+	// use all four strategies.
+	for _, name := range []string{"paper-grid", "scada-sweep"} {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := s.NumScenarios(); n < 100 {
+			t.Errorf("suite %q has %d scenarios, want >= 100", name, n)
+		}
+		if len(s.withDefaults().Policies) != 4 {
+			t.Errorf("suite %q does not cover the four strategies", name)
+		}
+	}
+	if _, err := Lookup("no-such-suite"); err == nil {
+		t.Error("unknown suite should fail")
+	}
+}
+
+func TestScenarioSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := scenarioSeed(1, i)
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if scenarioSeed(1, 0) == scenarioSeed(2, 0) {
+		t.Error("suite seeds not separated")
+	}
+	if scenarioSeed(1, 5) != scenarioSeed(1, 5) {
+		t.Error("seed not deterministic")
+	}
+}

@@ -1,0 +1,376 @@
+// Package fleet is the parallel scenario-fleet engine: it expands a
+// declarative Suite — grids over attacker campaign intensity, node-model
+// parameters, workload shapes, system sizes, BTR bounds and control policies
+// — into hundreds of concrete emulation scenarios and executes them on a
+// bounded worker pool.
+//
+// Scale comes from three mechanisms:
+//
+//   - Deterministic seeding: every scenario's seed is a hash of the suite
+//     seed and the scenario index, so results are bit-identical regardless
+//     of worker count or scheduling.
+//   - A strategy cache (StrategyCache) that memoizes the solved recovery
+//     strategies (recovery.SolveDP) and replication LPs (cmdp occupancy
+//     measures) keyed by canonicalized model parameters, so a grid with
+//     hundreds of scenarios solves each distinct control problem once.
+//   - Streaming aggregation: per-run metrics fold into per-cell Welford
+//     summaries (emulation.Accumulator) in scenario-index order, without
+//     retaining traces.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"tolerance/internal/baselines"
+	"tolerance/internal/emulation"
+	"tolerance/internal/nodemodel"
+)
+
+// ErrBadSuite is returned for invalid suite definitions.
+var ErrBadSuite = errors.New("fleet: bad suite")
+
+// PolicyKind selects one of the §VIII-B control strategies for a grid cell.
+type PolicyKind string
+
+// The four strategies of Table 7.
+const (
+	PolicyTolerance        PolicyKind = "TOLERANCE"
+	PolicyNoRecovery       PolicyKind = "NO-RECOVERY"
+	PolicyPeriodic         PolicyKind = "PERIODIC"
+	PolicyPeriodicAdaptive PolicyKind = "PERIODIC-ADAPTIVE"
+)
+
+// Valid reports whether the kind is known.
+func (k PolicyKind) Valid() bool {
+	switch k {
+	case PolicyTolerance, PolicyNoRecovery, PolicyPeriodic, PolicyPeriodicAdaptive:
+		return true
+	}
+	return false
+}
+
+// CrashProfile pairs the two crash probabilities of eq. (2): pC1 in the
+// healthy state, pC2 in the compromised state.
+type CrashProfile struct {
+	PC1 float64 `json:"pc1"`
+	PC2 float64 `json:"pc2"`
+}
+
+// Suite is a declarative scenario grid. Every axis slice is a grid
+// dimension; leaving one empty selects a single default value, so the
+// expanded scenario count is the product of the non-empty axis lengths
+// times len(Policies) times SeedsPerCell.
+type Suite struct {
+	// Name identifies the suite in CLI output and reports.
+	Name string `json:"name"`
+	// Description is a one-line summary for suite listings.
+	Description string `json:"description,omitempty"`
+	// Seed is the master seed; every scenario seed derives from it and the
+	// scenario index.
+	Seed int64 `json:"seed"`
+	// SeedsPerCell is the number of evaluation seeds per grid cell
+	// (default 3; the paper's Table 7 uses 20).
+	SeedsPerCell int `json:"seedsPerCell"`
+	// Steps per scenario run (default 500).
+	Steps int `json:"steps"`
+	// FitSamples is M for the Ẑ estimation (default 2000 — reduced from
+	// the paper's 25,000 to keep wide grids fast; override per suite).
+	FitSamples int `json:"fitSamples"`
+	// EpsilonA is the availability bound for TOLERANCE's replication LP
+	// (default 0.9).
+	EpsilonA float64 `json:"epsilonA"`
+	// SMax caps the replication factor (default 13, Table 3).
+	SMax int `json:"smax"`
+	// K is the number of parallel recoveries allowed (default 1).
+	K int `json:"k"`
+
+	// AttackRates grids the attacker campaign intensity pA (default {0.1}).
+	AttackRates []float64 `json:"attackRates,omitempty"`
+	// CrashProfiles grids (pC1, pC2) (default Table 8: {1e-5, 1e-3}).
+	CrashProfiles []CrashProfile `json:"crashProfiles,omitempty"`
+	// UpdateRates grids pU (default {0.02}).
+	UpdateRates []float64 `json:"updateRates,omitempty"`
+	// Etas grids the eq. (5) cost weight (default {2}).
+	Etas []float64 `json:"etas,omitempty"`
+	// Workloads grids the background client population (default Table 8:
+	// Poisson(20) arrivals, mean service 4 steps).
+	Workloads []emulation.BackgroundWorkload `json:"workloads,omitempty"`
+	// N1s grids the initial system size (default {6}).
+	N1s []int `json:"n1s,omitempty"`
+	// DeltaRs grids the BTR bound (default {15}; use
+	// recovery.InfiniteDeltaR for the unconstrained problem).
+	DeltaRs []int `json:"deltaRs,omitempty"`
+	// Policies grids the control strategy (default: all four of Table 7).
+	Policies []PolicyKind `json:"policies,omitempty"`
+}
+
+// withDefaults fills every empty axis and scalar.
+func (s Suite) withDefaults() Suite {
+	if s.SeedsPerCell <= 0 {
+		s.SeedsPerCell = 3
+	}
+	if s.Steps <= 0 {
+		s.Steps = 500
+	}
+	if s.FitSamples <= 0 {
+		s.FitSamples = 2000
+	}
+	if s.EpsilonA <= 0 {
+		s.EpsilonA = 0.9
+	}
+	if s.SMax <= 0 {
+		s.SMax = 13
+	}
+	if s.K <= 0 {
+		s.K = 1
+	}
+	if len(s.AttackRates) == 0 {
+		s.AttackRates = []float64{0.1}
+	}
+	if len(s.CrashProfiles) == 0 {
+		s.CrashProfiles = []CrashProfile{{PC1: 1e-5, PC2: 1e-3}}
+	}
+	if len(s.UpdateRates) == 0 {
+		s.UpdateRates = []float64{0.02}
+	}
+	if len(s.Etas) == 0 {
+		s.Etas = []float64{2}
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []emulation.BackgroundWorkload{emulation.DefaultBackgroundWorkload()}
+	}
+	if len(s.N1s) == 0 {
+		s.N1s = []int{6}
+	}
+	if len(s.DeltaRs) == 0 {
+		s.DeltaRs = []int{15}
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []PolicyKind{
+			PolicyTolerance, PolicyNoRecovery, PolicyPeriodic, PolicyPeriodicAdaptive,
+		}
+	}
+	return s
+}
+
+// Validate checks the (defaulted) suite.
+func (s Suite) Validate() error {
+	s = s.withDefaults()
+	for _, pa := range s.AttackRates {
+		if pa <= 0 || pa >= 1 {
+			return fmt.Errorf("%w: attack rate %v", ErrBadSuite, pa)
+		}
+	}
+	for _, cp := range s.CrashProfiles {
+		if cp.PC1 <= 0 || cp.PC1 >= 1 || cp.PC2 <= 0 || cp.PC2 >= 1 {
+			return fmt.Errorf("%w: crash profile %+v", ErrBadSuite, cp)
+		}
+	}
+	for _, pu := range s.UpdateRates {
+		if pu <= 0 || pu >= 1 {
+			return fmt.Errorf("%w: update rate %v", ErrBadSuite, pu)
+		}
+	}
+	for _, eta := range s.Etas {
+		if eta < 1 {
+			return fmt.Errorf("%w: eta %v", ErrBadSuite, eta)
+		}
+	}
+	for _, n1 := range s.N1s {
+		if n1 < 1 || n1 > s.SMax {
+			return fmt.Errorf("%w: N1 %d with smax %d", ErrBadSuite, n1, s.SMax)
+		}
+	}
+	for _, dr := range s.DeltaRs {
+		if dr < 0 {
+			return fmt.Errorf("%w: deltaR %d", ErrBadSuite, dr)
+		}
+	}
+	for _, p := range s.Policies {
+		if !p.Valid() {
+			return fmt.Errorf("%w: unknown policy %q", ErrBadSuite, p)
+		}
+	}
+	if s.EpsilonA >= 1 {
+		return fmt.Errorf("%w: epsilonA %v", ErrBadSuite, s.EpsilonA)
+	}
+	return nil
+}
+
+// Cell is one concrete grid point: a full model/workload/size/policy
+// configuration evaluated across SeedsPerCell seeds.
+type Cell struct {
+	// Index is the cell's position in expansion order.
+	Index int `json:"index"`
+	// Policy is the control strategy under evaluation.
+	Policy PolicyKind `json:"policy"`
+	// PA, PC1, PC2, PU, Eta are the node-model parameters of eq. (2)-(5).
+	PA  float64 `json:"pa"`
+	PC1 float64 `json:"pc1"`
+	PC2 float64 `json:"pc2"`
+	PU  float64 `json:"pu"`
+	Eta float64 `json:"eta"`
+	// Workload is the background client population.
+	Workload emulation.BackgroundWorkload `json:"workload"`
+	// N1, SMax, K and DeltaR shape the system-level scenario.
+	N1     int `json:"n1"`
+	SMax   int `json:"smax"`
+	K      int `json:"k"`
+	DeltaR int `json:"deltaR"`
+	// F is the tolerance threshold (the paper's rule min((N1-1)/2, 2)).
+	F int `json:"f"`
+}
+
+// Cells expands the suite grid in a fixed documented order: attack rate,
+// then crash profile, update rate, eta, workload, N1, DeltaR, and policy
+// innermost. The order is part of the reproducibility contract — scenario
+// indices (and therefore seeds) follow it.
+func (s Suite) Cells() []Cell {
+	s = s.withDefaults()
+	var cells []Cell
+	for _, pa := range s.AttackRates {
+		for _, cp := range s.CrashProfiles {
+			for _, pu := range s.UpdateRates {
+				for _, eta := range s.Etas {
+					for _, wl := range s.Workloads {
+						for _, n1 := range s.N1s {
+							for _, dr := range s.DeltaRs {
+								for _, pol := range s.Policies {
+									cells = append(cells, Cell{
+										Index:    len(cells),
+										Policy:   pol,
+										PA:       pa,
+										PC1:      cp.PC1,
+										PC2:      cp.PC2,
+										PU:       pu,
+										Eta:      eta,
+										Workload: wl,
+										N1:       n1,
+										SMax:     s.SMax,
+										K:        s.K,
+										DeltaR:   dr,
+										F:        emulation.DefaultThreshold(n1),
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// NumCells returns the grid size.
+func (s Suite) NumCells() int {
+	s = s.withDefaults()
+	return len(s.AttackRates) * len(s.CrashProfiles) * len(s.UpdateRates) *
+		len(s.Etas) * len(s.Workloads) * len(s.N1s) * len(s.DeltaRs) * len(s.Policies)
+}
+
+// NumScenarios returns the total number of emulation runs the suite expands
+// to.
+func (s Suite) NumScenarios() int {
+	s = s.withDefaults()
+	return s.NumCells() * s.SeedsPerCell
+}
+
+// params assembles the cell's node model on the Table 8 observation
+// distributions.
+func (c Cell) params() nodemodel.Params {
+	p := nodemodel.DefaultParams()
+	p.PA, p.PC1, p.PC2, p.PU, p.Eta = c.PA, c.PC1, c.PC2, c.PU, c.Eta
+	return p
+}
+
+// scenario builds the emulation scenario for one seed of the cell.
+func (c Cell) scenario(policy baselines.Policy, seed int64, steps, fitSamples int) emulation.Scenario {
+	return emulation.Scenario{
+		N1:         c.N1,
+		SMax:       c.SMax,
+		K:          c.K,
+		F:          c.F,
+		DeltaR:     c.DeltaR,
+		Steps:      steps,
+		Seed:       seed,
+		Params:     c.params(),
+		Policy:     policy,
+		FitSamples: fitSamples,
+		Workload:   c.Workload,
+	}
+}
+
+// Builtin returns the built-in suites:
+//
+//   - paper-grid: the §VIII evaluation region — attack rates, BTR bounds
+//     and system sizes around Table 7, all four strategies (192 scenarios).
+//   - scada-sweep: the SCADA configuration of examples/scada (crash-heavy
+//     power-grid substations) swept over crash severity, workload and
+//     system size (192 scenarios).
+//   - smoke: a four-scenario suite for CI and quick checks.
+func Builtin() []Suite {
+	return []Suite{
+		{
+			Name:         "paper-grid",
+			Description:  "Table 7 region: pA x DeltaR x N1 x all four strategies",
+			Seed:         1,
+			SeedsPerCell: 4,
+			Steps:        500,
+			AttackRates:  []float64{0.05, 0.1},
+			N1s:          []int{3, 6, 9},
+			DeltaRs:      []int{15, 25},
+			Policies: []PolicyKind{
+				PolicyTolerance, PolicyNoRecovery, PolicyPeriodic, PolicyPeriodicAdaptive,
+			},
+		},
+		{
+			Name:         "scada-sweep",
+			Description:  "examples/scada regime: crash-heavy grid control, swept over crash severity and workload",
+			Seed:         1,
+			SeedsPerCell: 2,
+			Steps:        400,
+			EpsilonA:     0.9,
+			// examples/scada: pA = 0.08, pC1 = 5e-3, pC2 = 2e-2; the sweep
+			// scales crash severity x1, x2, x4 (field-deployment spread).
+			AttackRates: []float64{0.08},
+			CrashProfiles: []CrashProfile{
+				{PC1: 5e-3, PC2: 2e-2},
+				{PC1: 1e-2, PC2: 4e-2},
+				{PC1: 2e-2, PC2: 8e-2},
+			},
+			Workloads: []emulation.BackgroundWorkload{
+				{Lambda: 20, MeanServiceSteps: 4}, // Table 8 web workload
+				{Lambda: 4, MeanServiceSteps: 25}, // SCADA: few long-lived operator sessions
+			},
+			N1s:     []int{6, 9},
+			DeltaRs: []int{25, 50},
+			Policies: []PolicyKind{
+				PolicyTolerance, PolicyNoRecovery, PolicyPeriodic, PolicyPeriodicAdaptive,
+			},
+		},
+		{
+			Name:         "smoke",
+			Description:  "four-scenario sanity suite for CI",
+			Seed:         1,
+			SeedsPerCell: 2,
+			Steps:        120,
+			FitSamples:   500,
+			AttackRates:  []float64{0.1},
+			N1s:          []int{3},
+			DeltaRs:      []int{15},
+			Policies:     []PolicyKind{PolicyTolerance, PolicyPeriodic},
+		},
+	}
+}
+
+// Lookup resolves a built-in suite by name.
+func Lookup(name string) (Suite, error) {
+	for _, s := range Builtin() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Suite{}, fmt.Errorf("%w: unknown suite %q", ErrBadSuite, name)
+}

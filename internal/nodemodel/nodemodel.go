@@ -182,6 +182,24 @@ func (p Params) CheckTheorem1Assumptions() error {
 // NumObs returns the size of the observation space.
 func (p Params) NumObs() int { return p.ZHealthy.Len() }
 
+// Fingerprint returns a canonical hash over every quantity that determines
+// the model's control problems: the scalar parameters bit-for-bit and both
+// observation distributions. Two Params values with the same fingerprint
+// yield identical solutions of Problems 1 and 2, which is what strategy
+// caches key on.
+func (p Params) Fingerprint() string {
+	values := []float64{p.PA, p.PC1, p.PC2, p.PU, p.Eta}
+	for _, z := range []*dist.Categorical{p.ZHealthy, p.ZCompromised} {
+		if z == nil {
+			values = append(values, math.NaN())
+			continue
+		}
+		values = append(values, float64(z.Len()))
+		values = append(values, z.Probs()...)
+	}
+	return dist.Fingerprint(values...)
+}
+
 // Transition returns the distribution over successor states, eq. (2).
 func (p Params) Transition(s State, a Action) [3]float64 {
 	var out [3]float64

@@ -38,6 +38,11 @@ func (c DPConfig) withDefaults() DPConfig {
 	return c
 }
 
+// Normalized returns the configuration with all defaults applied, so two
+// configurations that select the same solve (for example GridSize 0 and the
+// default 500) compare equal — strategy caches key on the normalized form.
+func (c DPConfig) Normalized() DPConfig { return c.withDefaults() }
+
 // DPSolution is the exact solution of Problem 1.
 //
 // For finite Delta_R the BTR constraint (eq. 6b) forces recovery at the

@@ -14,13 +14,23 @@
 //     NO-RECOVERY, PERIODIC and PERIODIC-ADAPTIVE baselines on the
 //     emulated testbed, reporting T(A), T(R) and F(R).
 //   - MTTF and Reliability compute the Fig 6 failure-time analytics.
+//   - RunFleetSuite executes a built-in scenario fleet: a declarative grid
+//     over attack intensity, crash rates, workload shapes, system sizes,
+//     BTR bounds and strategies, expanded to hundreds of scenarios and run
+//     on a bounded worker pool. Seeding is deterministic (suite seed +
+//     scenario index), a strategy cache solves each distinct control
+//     problem once, and per-cell metrics stream through Welford
+//     accumulators — the same grid is byte-identical at any worker count.
+//     The cmd/tolerance-fleet CLI wraps the engine with suite selection,
+//     worker count and JSON/CSV output.
 //
 // Lower-level building blocks (the MinBFT and Raft implementations, the
-// POMDP solvers, the emulation) live under internal/ and are exercised by
-// the examples and the benchmark harness.
+// POMDP solvers, the emulation, the fleet engine) live under internal/ and
+// are exercised by the examples and the benchmark harness.
 package tolerance
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -29,6 +39,7 @@ import (
 	"tolerance/internal/cmdp"
 	"tolerance/internal/dist"
 	"tolerance/internal/emulation"
+	"tolerance/internal/fleet"
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/opt"
 	"tolerance/internal/recovery"
@@ -257,15 +268,10 @@ func Compare(cfg CompareConfig) ([]StrategyMetrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := (cfg.N1 - 1) / 2
-	if f > 2 {
-		f = 2
-	}
-	if f < 1 {
-		f = 1
-	}
+	f := emulation.DefaultThreshold(cfg.N1)
 	rng := rand.New(rand.NewSource(17))
-	q, err := cmdp.EstimateHealthyProb(rng, params, dp.Strategy(cfg.DeltaR), 100, 200, cfg.DeltaR)
+	q, err := cmdp.EstimateHealthyProb(rng, params, dp.Strategy(cfg.DeltaR),
+		cmdp.DefaultEstimateEpisodes, cmdp.DefaultEstimateHorizon, cfg.DeltaR)
 	if err != nil {
 		return nil, err
 	}
@@ -316,6 +322,135 @@ func Compare(cfg CompareConfig) ([]StrategyMetrics, error) {
 		})
 	}
 	return out, nil
+}
+
+// FleetOptions tunes a fleet-suite execution. The zero value keeps every
+// suite default.
+type FleetOptions struct {
+	// Workers bounds the worker pool (default min(GOMAXPROCS, 8)).
+	Workers int
+	// Seed overrides the suite's master seed when non-zero.
+	Seed int64
+	// Steps overrides the per-scenario step count when non-zero.
+	Steps int
+	// SeedsPerCell overrides the evaluation seeds per grid cell when
+	// non-zero.
+	SeedsPerCell int
+	// Progress, when set, receives (done, total) after each folded
+	// scenario.
+	Progress func(done, total int)
+}
+
+// FleetCellMetrics is one grid cell of a fleet report: a concrete
+// model/workload/size/policy configuration with its evaluation metrics
+// (means with 95% confidence half-widths) streamed over the cell's seeds.
+type FleetCellMetrics struct {
+	Strategy              string
+	PA, PC1, PC2, PU, Eta float64
+	WorkloadLambda        float64
+	WorkloadService       float64
+	N1, SMax, DeltaR, F   int
+	Runs                  int
+
+	Availability, AvailabilityCI      float64
+	QuorumAvailability, QuorumCI      float64
+	TimeToRecovery, TimeToRecoveryCI  float64
+	RecoveryFrequency, RecoveryFreqCI float64
+	AvgNodes, AvgNodesCI              float64
+	AvgCost, AvgCostCI                float64
+}
+
+// FleetReport is the result of one fleet-suite execution.
+type FleetReport struct {
+	// Suite is the executed suite's name; Seed its master seed.
+	Suite string
+	Seed  int64
+	// Scenarios is the number of emulation runs executed.
+	Scenarios int
+	// Cells holds one aggregated entry per grid cell, in expansion order.
+	Cells []FleetCellMetrics
+	// RecoverySolves and ReplicationSolves count the distinct control
+	// problems actually solved; CacheHits counts requests the strategy
+	// cache answered without solving.
+	RecoverySolves    int
+	ReplicationSolves int
+	CacheHits         int
+}
+
+// FleetSuiteNames lists the built-in scenario suites.
+func FleetSuiteNames() []string {
+	suites := fleet.Builtin()
+	names := make([]string, len(suites))
+	for i, s := range suites {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// RunFleetSuite executes a built-in scenario suite on a bounded worker
+// pool. Results are deterministic for a given (suite, seed) regardless of
+// worker count.
+func RunFleetSuite(name string, opts FleetOptions) (*FleetReport, error) {
+	suite, err := fleet.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	if opts.Seed != 0 {
+		suite.Seed = opts.Seed
+	}
+	if opts.Steps != 0 {
+		suite.Steps = opts.Steps
+	}
+	if opts.SeedsPerCell != 0 {
+		suite.SeedsPerCell = opts.SeedsPerCell
+	}
+	res, err := fleet.Run(context.Background(), suite, fleet.Config{
+		Workers:  opts.Workers,
+		Progress: opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &FleetReport{
+		Suite:             res.Suite,
+		Seed:              res.Seed,
+		Scenarios:         res.Scenarios,
+		Cells:             make([]FleetCellMetrics, len(res.Cells)),
+		RecoverySolves:    int(res.Cache.RecoverySolves),
+		ReplicationSolves: int(res.Cache.ReplicationSolves),
+		CacheHits:         int(res.Cache.RecoveryHits + res.Cache.ReplicationHits),
+	}
+	for i, c := range res.Cells {
+		a := c.Aggregate
+		report.Cells[i] = FleetCellMetrics{
+			Strategy:           string(c.Cell.Policy),
+			PA:                 c.Cell.PA,
+			PC1:                c.Cell.PC1,
+			PC2:                c.Cell.PC2,
+			PU:                 c.Cell.PU,
+			Eta:                c.Cell.Eta,
+			WorkloadLambda:     c.Cell.Workload.Lambda,
+			WorkloadService:    c.Cell.Workload.MeanServiceSteps,
+			N1:                 c.Cell.N1,
+			SMax:               c.Cell.SMax,
+			DeltaR:             c.Cell.DeltaR,
+			F:                  c.Cell.F,
+			Runs:               int(c.Runs),
+			Availability:       a.Availability.Mean,
+			AvailabilityCI:     a.Availability.CI,
+			QuorumAvailability: a.QuorumAvailability.Mean,
+			QuorumCI:           a.QuorumAvailability.CI,
+			TimeToRecovery:     a.TimeToRecovery.Mean,
+			TimeToRecoveryCI:   a.TimeToRecovery.CI,
+			RecoveryFrequency:  a.RecoveryFrequency.Mean,
+			RecoveryFreqCI:     a.RecoveryFrequency.CI,
+			AvgNodes:           a.AvgNodes.Mean,
+			AvgNodesCI:         a.AvgNodes.CI,
+			AvgCost:            a.Cost.Mean,
+			AvgCostCI:          a.Cost.CI,
+		}
+	}
+	return report, nil
 }
 
 // DetectorSensitivity evaluates J* as a function of detector quality

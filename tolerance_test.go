@@ -62,6 +62,35 @@ func TestSolveReplicationStrategyFacade(t *testing.T) {
 	}
 }
 
+func TestRunFleetSuiteFacade(t *testing.T) {
+	names := FleetSuiteNames()
+	if len(names) < 3 {
+		t.Fatalf("built-in suites: %v", names)
+	}
+	report, err := RunFleetSuite("smoke", FleetOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Suite != "smoke" || report.Scenarios != 4 || len(report.Cells) != 2 {
+		t.Fatalf("report shape: %+v", report)
+	}
+	if report.RecoverySolves != 1 || report.ReplicationSolves != 1 {
+		t.Errorf("solves = %d/%d, want 1/1 (strategy cache)",
+			report.RecoverySolves, report.ReplicationSolves)
+	}
+	for _, c := range report.Cells {
+		if c.Runs != 2 {
+			t.Errorf("cell %s folded %d runs", c.Strategy, c.Runs)
+		}
+		if c.Availability < 0 || c.Availability > 1 {
+			t.Errorf("cell %s availability %v", c.Strategy, c.Availability)
+		}
+	}
+	if _, err := RunFleetSuite("no-such-suite", FleetOptions{}); err == nil {
+		t.Error("unknown suite should fail")
+	}
+}
+
 func TestMTTFAndReliabilityFacade(t *testing.T) {
 	m1, err := MTTF(20, 3, 1, 0.9)
 	if err != nil {
