@@ -1,15 +1,30 @@
-// tolerance-fleet runs a built-in scenario suite on the parallel fleet
-// engine: the suite grid expands to hundreds of emulation scenarios,
-// executes on a bounded worker pool with deterministic per-scenario seeding,
-// and streams per-cell T(A), T(R), F(R), node-count and cost summaries.
+// tolerance-fleet runs scenario suites on the parallel fleet engine: a
+// suite grid — built-in or loaded from a JSON definition — expands to
+// hundreds of emulation scenarios, executes on a bounded worker pool with
+// deterministic per-scenario seeding, and streams per-cell T(A), T(R),
+// F(R), node-count and cost summaries.
+//
+// Single-machine runs:
 //
 //	tolerance-fleet -list
 //	tolerance-fleet -suite paper-grid -workers 8
 //	tolerance-fleet -suite scada-sweep -format csv > scada.csv
-//	tolerance-fleet -suite smoke -format json
+//	tolerance-fleet -dump-suite paper-grid > grid.json
+//	tolerance-fleet -suite-file grid.json -format json
+//
+// Scale-out runs — shard a grid across machines, survive kills, and fold
+// the pieces back together:
+//
+//	tolerance-fleet -suite-file grid.json -shard 0/2 -checkpoint s0.jsonl   # machine A
+//	tolerance-fleet -suite-file grid.json -shard 1/2 -checkpoint s1.jsonl   # machine B
+//	tolerance-fleet -merge -format json s0.jsonl s1.jsonl                   # anywhere
+//	tolerance-fleet -suite-file grid.json -checkpoint run.jsonl -resume     # after a kill
 //
 // Output is deterministic: the same suite and seed produce byte-identical
-// results for any -workers value.
+// results for any -workers value, and merging a complete shard set
+// reproduces the unsharded output byte-for-byte. Strategy-cache statistics
+// go to stderr (they depend on how a run is partitioned; stdout carries
+// only deterministic quantities).
 package main
 
 import (
@@ -18,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -33,25 +49,50 @@ func main() {
 
 func run() error {
 	suiteName := flag.String("suite", "paper-grid", "built-in suite to run (-list shows all)")
+	suiteFile := flag.String("suite-file", "", "JSON suite definition to run instead of a built-in (see -dump-suite)")
+	dumpSuite := flag.String("dump-suite", "", "print the named built-in suite as JSON (with overrides applied) and exit")
 	list := flag.Bool("list", false, "list built-in suites and exit")
 	workers := flag.Int("workers", 0, "worker pool size (0 = min(GOMAXPROCS, 8))")
 	seed := flag.Int64("seed", 0, "override the suite master seed (0 = suite default)")
 	steps := flag.Int("steps", 0, "override steps per scenario (0 = suite default)")
 	seedsPerCell := flag.Int("seeds", 0, "override seeds per grid cell (0 = suite default)")
 	fitSamples := flag.Int("fit", 0, "override Ẑ-estimation samples (0 = suite default)")
+	shardSpec := flag.String("shard", "", "run only shard i of n (\"i/n\"); requires -checkpoint to keep the shard's records")
+	checkpoint := flag.String("checkpoint", "", "record completed scenarios to this file (JSONL); doubles as the shard result file")
+	resume := flag.Bool("resume", false, "load the -checkpoint file first and skip scenarios it already holds")
+	merge := flag.Bool("merge", false, "fold the shard/checkpoint files given as arguments into the full-suite result and print it")
 	format := flag.String("format", "table", "output format: table | json | csv")
-	quiet := flag.Bool("quiet", false, "suppress the progress meter on stderr")
+	quiet := flag.Bool("quiet", false, "suppress the progress meter and cache statistics on stderr")
 	flag.Parse()
 
-	if *list {
+	switch {
+	case *list:
 		for _, s := range fleet.Builtin() {
 			fmt.Printf("%-12s %4d scenarios, %3d cells  %s\n",
 				s.Name, s.NumScenarios(), s.NumCells(), s.Description)
 		}
 		return nil
+	case *merge:
+		return runMerge(flag.Args(), *format)
+	}
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v (shard files are only accepted with -merge)", flag.Args())
 	}
 
-	suite, err := fleet.Lookup(*suiteName)
+	var suite fleet.Suite
+	var err error
+	if *suiteFile != "" {
+		if *dumpSuite != "" {
+			return fmt.Errorf("-dump-suite names a built-in suite and conflicts with -suite-file")
+		}
+		suite, err = fleet.LoadSuiteFile(*suiteFile)
+	} else {
+		name := *suiteName
+		if *dumpSuite != "" {
+			name = *dumpSuite
+		}
+		suite, err = fleet.Lookup(name)
+	}
 	if err != nil {
 		return err
 	}
@@ -68,7 +109,30 @@ func run() error {
 		suite.FitSamples = *fitSamples
 	}
 
-	cfg := fleet.Config{Workers: *workers}
+	if *dumpSuite != "" {
+		data, err := fleet.DumpSuite(suite)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+
+	var shard fleet.Shard
+	if *shardSpec != "" {
+		if shard, err = fleet.ParseShard(*shardSpec); err != nil {
+			return err
+		}
+		if !shard.IsWhole() && *checkpoint == "" {
+			return fmt.Errorf("-shard %s needs -checkpoint to keep the shard's records for -merge", shard)
+		}
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+
+	cache := fleet.NewStrategyCache()
+	cfg := fleet.Config{Workers: *workers, Cache: cache, Shard: shard}
 	if !*quiet {
 		cfg.Progress = func(done, total int) {
 			if done%10 == 0 || done == total {
@@ -80,27 +144,91 @@ func run() error {
 		}
 	}
 
+	// Wire the checkpoint: on resume, reload prior records and append;
+	// otherwise start a fresh file.
+	var writer *fleet.CheckpointWriter
+	if *checkpoint != "" {
+		if *resume {
+			ck, err := fleet.ReadCheckpoint(*checkpoint)
+			if err != nil {
+				return err
+			}
+			if got, want := ck.Suite.Fingerprint(), suite.Fingerprint(); got != want {
+				return fmt.Errorf("checkpoint %s was written by a different suite (fingerprint %s, this run %s); "+
+					"re-check the suite file and overrides", *checkpoint, got, want)
+			}
+			if ck.Shard.String() != shard.String() {
+				return fmt.Errorf("checkpoint %s covers shard %s, this run is shard %s",
+					*checkpoint, ck.Shard, shard)
+			}
+			cfg.Completed = ck.Records
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "resuming: %d scenarios already complete\n", len(ck.Records))
+			}
+			writer, err = fleet.AppendCheckpoint(*checkpoint, ck)
+		} else {
+			writer, err = fleet.CreateCheckpoint(*checkpoint, suite, shard)
+		}
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if writer != nil {
+				writer.Close()
+			}
+		}()
+		cfg.OnRecord = writer.Append
+	}
+
 	res, err := fleet.Run(context.Background(), suite, cfg)
 	if err != nil {
 		return err
 	}
+	if writer != nil {
+		if err := writer.Close(); err != nil {
+			return err
+		}
+		writer = nil
+	}
+	if !*quiet {
+		stats := cache.Stats()
+		fmt.Fprintf(os.Stderr, "strategy cache: %d recovery + %d replication solves, %d hits\n",
+			stats.RecoverySolves, stats.ReplicationSolves,
+			stats.RecoveryHits+stats.ReplicationHits)
+	}
+	return writeResult(os.Stdout, res, *format)
+}
 
-	switch *format {
+// runMerge folds a complete shard set back into the single-machine result.
+func runMerge(paths []string, format string) error {
+	suite, records, err := fleet.ReadShardSet(paths)
+	if err != nil {
+		return err
+	}
+	res, err := fleet.MergeRecords(suite, records)
+	if err != nil {
+		return err
+	}
+	return writeResult(os.Stdout, res, format)
+}
+
+func writeResult(w io.Writer, res *fleet.Result, format string) error {
+	switch format {
 	case "json":
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	case "csv":
-		return writeCSV(os.Stdout, res)
+		return writeCSV(w, res)
 	case "table":
-		writeTable(res)
+		writeTable(w, res)
 		return nil
 	default:
-		return fmt.Errorf("unknown format %q", *format)
+		return fmt.Errorf("unknown format %q", format)
 	}
 }
 
-func writeCSV(f *os.File, res *fleet.Result) error {
+func writeCSV(f io.Writer, res *fleet.Result) error {
 	w := csv.NewWriter(f)
 	header := []string{
 		"suite", "cell", "policy", "pa", "pc1", "pc2", "pu", "eta",
@@ -137,18 +265,15 @@ func writeCSV(f *os.File, res *fleet.Result) error {
 	return w.Error()
 }
 
-func writeTable(res *fleet.Result) {
-	fmt.Printf("suite %s (seed %d): %d scenarios over %d cells\n",
+func writeTable(w io.Writer, res *fleet.Result) {
+	fmt.Fprintf(w, "suite %s (seed %d): %d scenarios over %d cells\n\n",
 		res.Suite, res.Seed, res.Scenarios, len(res.Cells))
-	fmt.Printf("strategy cache: %d recovery + %d replication solves, %d hits\n\n",
-		res.Cache.RecoverySolves, res.Cache.ReplicationSolves,
-		res.Cache.RecoveryHits+res.Cache.ReplicationHits)
-	fmt.Printf("%4s  %-18s %5s %5s %3s %4s  %8s %10s %9s %8s %7s %7s\n",
-		"cell", "policy", "pA", "pC1", "N1", "ΔR", "T(A)", "T(A,quor)", "T(R)", "F(R)", "avg N", "cost")
+	fmt.Fprintf(w, "%4s  %-18s %5s %5s %3s %4s %5s  %8s %10s %9s %8s %7s %7s\n",
+		"cell", "policy", "pA", "pC1", "N1", "ΔR", "runs", "T(A)", "T(A,quor)", "T(R)", "F(R)", "avg N", "cost")
 	for _, c := range res.Cells {
 		a := c.Aggregate
-		fmt.Printf("%4d  %-18s %5.3g %5.3g %3d %4d  %8.3f %10.3f %9.2f %8.4f %7.2f %7.3f\n",
-			c.Cell.Index, c.Cell.Policy, c.Cell.PA, c.Cell.PC1, c.Cell.N1, c.Cell.DeltaR,
+		fmt.Fprintf(w, "%4d  %-18s %5.3g %5.3g %3d %4d %5d  %8.3f %10.3f %9.2f %8.4f %7.2f %7.3f\n",
+			c.Cell.Index, c.Cell.Policy, c.Cell.PA, c.Cell.PC1, c.Cell.N1, c.Cell.DeltaR, c.Runs,
 			a.Availability.Mean, a.QuorumAvailability.Mean,
 			a.TimeToRecovery.Mean, a.RecoveryFrequency.Mean,
 			a.AvgNodes.Mean, a.Cost.Mean)

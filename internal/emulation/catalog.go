@@ -118,9 +118,9 @@ func PhysicalCluster() []PhysicalNode {
 // steps; the active session count modulates baseline alert noise.
 type BackgroundWorkload struct {
 	// Lambda is the arrival rate per step.
-	Lambda float64
+	Lambda float64 `json:"lambda"`
 	// MeanServiceSteps is the mean session duration.
-	MeanServiceSteps float64
+	MeanServiceSteps float64 `json:"meanServiceSteps"`
 }
 
 // DefaultBackgroundWorkload returns the paper's parameters.

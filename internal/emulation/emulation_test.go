@@ -291,3 +291,93 @@ func TestTCritical95(t *testing.T) {
 		t.Errorf("t(1) = %v", v)
 	}
 }
+
+// TestWelfordMerge is the distributed-aggregation contract: folding the
+// pieces of a split stream and merging them must reproduce the
+// single-stream Welford moments within 1e-12, for every split point and
+// for empty sides.
+func TestWelfordMerge(t *testing.T) {
+	xs := []float64{0.97, 0.41, 1e3, 0.0032, 7.7, 0.55, 12.1, 0.9981, 3.25, 0.07}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for split := 0; split <= len(xs); split++ {
+		var left, right Welford
+		for _, x := range xs[:split] {
+			left.Add(x)
+		}
+		for _, x := range xs[split:] {
+			right.Add(x)
+		}
+		merged := left
+		merged.Merge(right)
+		if merged.Count != whole.Count {
+			t.Fatalf("split %d: count %d, want %d", split, merged.Count, whole.Count)
+		}
+		if math.Abs(merged.Mean-whole.Mean) > 1e-12 {
+			t.Errorf("split %d: mean %v, want %v", split, merged.Mean, whole.Mean)
+		}
+		if math.Abs(merged.Variance()-whole.Variance()) > 1e-12*whole.Variance() {
+			t.Errorf("split %d: variance %v, want %v", split, merged.Variance(), whole.Variance())
+		}
+	}
+	// Merging an empty accumulator is the identity in both directions.
+	var empty Welford
+	merged := whole
+	merged.Merge(empty)
+	if merged != whole {
+		t.Errorf("merge with empty right changed state: %+v", merged)
+	}
+	merged = empty
+	merged.Merge(whole)
+	if merged != whole {
+		t.Errorf("merge into empty left = %+v, want %+v", merged, whole)
+	}
+}
+
+// TestAccumulatorMerge checks that merging per-shard accumulators matches
+// the single-stream fold across every metric.
+func TestAccumulatorMerge(t *testing.T) {
+	metrics := make([]*Metrics, 7)
+	for i := range metrics {
+		v := float64(i + 1)
+		metrics[i] = &Metrics{
+			Availability:       0.9 + 0.01*v,
+			QuorumAvailability: 0.8 + 0.02*v,
+			TimeToRecovery:     3 * v,
+			RecoveryFrequency:  0.001 * v,
+			AvgNodes:           6 + v/10,
+			AvgCost:            0.2 * v,
+		}
+	}
+	var whole Accumulator
+	for _, m := range metrics {
+		whole.Add(m)
+	}
+	var a, b Accumulator
+	for _, m := range metrics[:3] {
+		a.Add(m)
+	}
+	for _, m := range metrics[3:] {
+		b.Add(m)
+	}
+	a.Merge(&b)
+	if a.Runs() != whole.Runs() {
+		t.Fatalf("merged runs %d, want %d", a.Runs(), whole.Runs())
+	}
+	got, want := a.Aggregate(), whole.Aggregate()
+	pairs := [][2]Summary{
+		{got.Availability, want.Availability},
+		{got.QuorumAvailability, want.QuorumAvailability},
+		{got.TimeToRecovery, want.TimeToRecovery},
+		{got.RecoveryFrequency, want.RecoveryFrequency},
+		{got.AvgNodes, want.AvgNodes},
+		{got.Cost, want.Cost},
+	}
+	for i, p := range pairs {
+		if math.Abs(p[0].Mean-p[1].Mean) > 1e-12 || math.Abs(p[0].CI-p[1].CI) > 1e-12 {
+			t.Errorf("metric %d: merged %+v, want %+v", i, p[0], p[1])
+		}
+	}
+}

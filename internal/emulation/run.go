@@ -480,6 +480,27 @@ func (w *Welford) Add(x float64) {
 	w.M2 += delta * (x - w.Mean)
 }
 
+// Merge folds another accumulator's state into w, as if its samples had
+// been appended to w's stream (Chan et al.'s parallel combination of the
+// running moments). Merging the pieces of a split stream reproduces the
+// single-stream mean and variance up to floating-point rounding; exact
+// bit-identity with a sequential fold is not guaranteed, which is why the
+// fleet's shard merge replays per-scenario records instead.
+func (w *Welford) Merge(other Welford) {
+	if other.Count == 0 {
+		return
+	}
+	if w.Count == 0 {
+		*w = other
+		return
+	}
+	n := float64(w.Count + other.Count)
+	delta := other.Mean - w.Mean
+	w.Mean += delta * float64(other.Count) / n
+	w.M2 += other.M2 + delta*delta*float64(w.Count)*float64(other.Count)/n
+	w.Count += other.Count
+}
+
 // Variance returns the sample variance (zero below two samples).
 func (w *Welford) Variance() float64 {
 	if w.Count < 2 {
@@ -527,6 +548,18 @@ func (a *Accumulator) Add(m *Metrics) {
 	a.RecoveryFrequency.Add(m.RecoveryFrequency)
 	a.AvgNodes.Add(m.AvgNodes)
 	a.Cost.Add(m.AvgCost)
+}
+
+// Merge folds another accumulator's summaries into a, as if the other's
+// runs had been appended to a's stream. It lets shard-local aggregates from
+// distributed fleet runs combine into one summary without the raw samples.
+func (a *Accumulator) Merge(other *Accumulator) {
+	a.Availability.Merge(other.Availability)
+	a.QuorumAvailability.Merge(other.QuorumAvailability)
+	a.TimeToRecovery.Merge(other.TimeToRecovery)
+	a.RecoveryFrequency.Merge(other.RecoveryFrequency)
+	a.AvgNodes.Merge(other.AvgNodes)
+	a.Cost.Merge(other.Cost)
 }
 
 // Runs returns the number of folded runs.

@@ -26,8 +26,23 @@ type Config struct {
 	// re-solving common control problems.
 	Cache *StrategyCache
 	// Progress, when set, is called after every folded scenario with the
-	// number folded so far and the total (from the aggregator goroutine).
+	// number folded so far and the number scheduled (from the aggregator
+	// goroutine).
 	Progress func(done, total int)
+	// Shard restricts the run to a deterministic slice of the scenario
+	// index set (the zero value runs everything). Per-index seeding makes
+	// a sharded run execute exactly the scenarios — with exactly the rng
+	// streams — that a whole run would.
+	Shard Shard
+	// Completed holds records of scenarios already finished by an earlier
+	// (killed) run of the same suite and shard, keyed by scenario index.
+	// They are folded from the stored metrics instead of re-executed, so
+	// a resumed run completes with byte-identical output.
+	Completed map[int]RunRecord
+	// OnRecord, when set, receives every freshly executed scenario in
+	// fold (index) order — the checkpoint write hook. An error aborts the
+	// run.
+	OnRecord func(RunRecord) error
 }
 
 func (c Config) withDefaults() Config {
@@ -53,15 +68,35 @@ type CellResult struct {
 	Aggregate emulation.Aggregate `json:"aggregate"`
 }
 
-// Result is a full fleet execution report. It contains only deterministic
-// quantities: running the same suite with any worker count produces a
-// byte-identical serialization.
+// Result is a fleet execution report. It contains only deterministic
+// quantities: running the same suite with any worker count — or as shards
+// merged with MergeRecords — produces a byte-identical serialization.
+// (Strategy-cache statistics are deliberately not part of it; they depend
+// on how the run was partitioned. Read them from Config.Cache.)
 type Result struct {
 	Suite     string       `json:"suite"`
 	Seed      int64        `json:"seed"`
 	Scenarios int          `json:"scenarios"`
 	Cells     []CellResult `json:"cells"`
-	Cache     CacheStats   `json:"cache"`
+}
+
+// resultFromAccs assembles the Result shared by Run and MergeRecords, so
+// both paths serialize identically by construction.
+func resultFromAccs(suite Suite, cells []Cell, accs []emulation.Accumulator, scenarios int) *Result {
+	out := &Result{
+		Suite:     suite.Name,
+		Seed:      suite.Seed,
+		Scenarios: scenarios,
+		Cells:     make([]CellResult, len(cells)),
+	}
+	for i := range cells {
+		out.Cells[i] = CellResult{
+			Cell:      cells[i],
+			Runs:      accs[i].Runs(),
+			Aggregate: *accs[i].Aggregate(),
+		}
+	}
+	return out
 }
 
 // scenarioSeed derives a scenario's rng seed from the suite seed and the
@@ -77,31 +112,51 @@ func scenarioSeed(suiteSeed int64, index int) int64 {
 	return int64(x)
 }
 
-// Run expands the suite and executes every scenario on a bounded worker
-// pool. Per-run metrics stream into per-cell Welford accumulators in strict
-// scenario-index order, so the aggregates are bit-identical for any worker
-// count; with the strategy cache each distinct control problem is solved
-// exactly once.
+// Run expands the suite and executes every scheduled scenario — the whole
+// grid, or the Config.Shard slice of it — on a bounded worker pool.
+// Scenarios already present in Config.Completed fold from their stored
+// metrics instead of re-running. Per-run metrics stream into per-cell
+// Welford accumulators in strict scenario-index order, so the aggregates
+// are bit-identical for any worker count; with the strategy cache each
+// distinct control problem is solved exactly once.
 func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	suite = suite.withDefaults()
 	if err := suite.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Shard.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 
 	cells := suite.Cells()
-	total := len(cells) * suite.SeedsPerCell
-	if total == 0 {
+	gridTotal := len(cells) * suite.SeedsPerCell
+	if gridTotal == 0 {
 		return nil, fmt.Errorf("%w: empty grid", ErrBadSuite)
+	}
+	sched := cfg.Shard.Indices(gridTotal)
+	total := len(sched)
+	if total == 0 {
+		return nil, fmt.Errorf("%w: shard %s selects no scenarios of %d",
+			ErrBadSuite, cfg.Shard, gridTotal)
+	}
+	for idx := range cfg.Completed {
+		if idx < 0 || idx >= gridTotal || !cfg.Shard.Contains(idx) {
+			return nil, fmt.Errorf("%w: completed scenario %d is outside shard %s",
+				ErrBadSuite, idx, cfg.Shard)
+		}
 	}
 
 	type job struct {
-		index int
+		pos   int // position in sched — the fold order
+		index int // global scenario index — the seed and record identity
 		cell  *Cell
 	}
 	type outcome struct {
+		pos     int
 		index   int
 		cell    int
+		fresh   bool
 		metrics *emulation.Metrics
 		err     error
 	}
@@ -112,36 +167,44 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	jobs := make(chan job)
 	outcomes := make(chan outcome, cfg.Workers)
 
-	// Dispatcher: scenarios in index order (cell-major, seeds within).
+	// Dispatcher: scheduled scenarios in index order (cell-major, seeds
+	// within).
 	go func() {
 		defer close(jobs)
-		for i := range cells {
-			for s := 0; s < suite.SeedsPerCell; s++ {
-				select {
-				case jobs <- job{index: i*suite.SeedsPerCell + s, cell: &cells[i]}:
-				case <-ctx.Done():
-					return
-				}
+		for p, idx := range sched {
+			select {
+			case jobs <- job{pos: p, index: idx, cell: &cells[idx/suite.SeedsPerCell]}:
+			case <-ctx.Done():
+				return
 			}
 		}
 	}()
 
-	// Workers: construct the cell's policy through the cache, then run.
+	// Workers: replay completed scenarios from their records; otherwise
+	// construct the cell's policy through the cache and run.
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				policy, err := cfg.Cache.policyFor(*j.cell, suite.EpsilonA)
 				var m *emulation.Metrics
-				if err == nil {
-					sc := j.cell.scenario(policy,
-						scenarioSeed(suite.Seed, j.index), suite.Steps, suite.FitSamples)
-					m, err = emulation.Run(sc)
+				var err error
+				fresh := true
+				if rec, ok := cfg.Completed[j.index]; ok {
+					stored := rec.Metrics
+					m, fresh = &stored, false
+				} else {
+					var policy baselines.Policy
+					policy, err = cfg.Cache.policyFor(*j.cell, suite.EpsilonA)
+					if err == nil {
+						sc := j.cell.scenario(policy,
+							scenarioSeed(suite.Seed, j.index), suite.Steps, suite.FitSamples)
+						m, err = emulation.Run(sc)
+					}
 				}
 				select {
-				case outcomes <- outcome{index: j.index, cell: j.cell.Index, metrics: m, err: err}:
+				case outcomes <- outcome{pos: j.pos, index: j.index, cell: j.cell.Index, fresh: fresh, metrics: m, err: err}:
 				case <-ctx.Done():
 					return
 				}
@@ -160,7 +223,9 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	// Aggregator: fold in strict scenario-index order. Out-of-order
 	// completions park in a small reorder buffer (bounded in practice by
 	// the worker count) so the Welford folds — and therefore every floating
-	// point result — are independent of scheduling.
+	// point result — are independent of scheduling. Checkpoint records are
+	// emitted from the same ordered drain, so a checkpoint file is always
+	// an index-ordered prefix of the shard's work.
 	accs := make([]emulation.Accumulator, len(cells))
 	pending := make(map[int]outcome)
 	next := 0
@@ -172,8 +237,8 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 			}
 			continue
 		}
-		pending[oc.index] = oc
-		for {
+		pending[oc.pos] = oc
+		for firstErr == nil {
 			got, ok := pending[next]
 			if !ok {
 				break
@@ -181,6 +246,12 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 			delete(pending, next)
 			accs[got.cell].Add(got.metrics)
 			next++
+			if got.fresh && cfg.OnRecord != nil {
+				if err := cfg.OnRecord(RunRecord{Index: got.index, Cell: got.cell, Metrics: *got.metrics}); err != nil {
+					firstErr = fmt.Errorf("fleet: record scenario %d: %w", got.index, err)
+					cancel()
+				}
+			}
 			if cfg.Progress != nil {
 				cfg.Progress(next, total)
 			}
@@ -196,21 +267,7 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("fleet: folded %d of %d scenarios", next, total)
 	}
 
-	out := &Result{
-		Suite:     suite.Name,
-		Seed:      suite.Seed,
-		Scenarios: total,
-		Cells:     make([]CellResult, len(cells)),
-		Cache:     cfg.Cache.Stats(),
-	}
-	for i := range cells {
-		out.Cells[i] = CellResult{
-			Cell:      cells[i],
-			Runs:      accs[i].Runs(),
-			Aggregate: *accs[i].Aggregate(),
-		}
-	}
-	return out, nil
+	return resultFromAccs(suite, cells, accs, total), nil
 }
 
 // policyFor constructs the cell's control policy, routing the two control

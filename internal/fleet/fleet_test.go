@@ -77,8 +77,7 @@ func TestStrategyCacheSolvesEachProblemOnce(t *testing.T) {
 		Policies: []PolicyKind{PolicyTolerance},
 	}
 	cache := NewStrategyCache()
-	res, err := Run(context.Background(), suite, Config{Workers: 4, Cache: cache})
-	if err != nil {
+	if _, err := Run(context.Background(), suite, Config{Workers: 4, Cache: cache}); err != nil {
 		t.Fatal(err)
 	}
 	stats := cache.Stats()
@@ -93,9 +92,6 @@ func TestStrategyCacheSolvesEachProblemOnce(t *testing.T) {
 	wantRequests := int64(suite.NumScenarios())
 	if got := stats.RecoveryHits + stats.RecoverySolves; got != wantRequests {
 		t.Errorf("recovery requests = %d, want %d", got, wantRequests)
-	}
-	if res.Cache != stats {
-		t.Errorf("result snapshot %+v != cache stats %+v", res.Cache, stats)
 	}
 
 	// A second DeltaR is a second distinct control problem per solver.

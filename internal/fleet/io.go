@@ -1,0 +1,259 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"tolerance/internal/emulation"
+)
+
+// RunRecord is one completed scenario: its global index in the suite's
+// expansion, the grid cell it belongs to, and the run's metrics. Records
+// are the unit of durability — checkpoint files and shard result files are
+// streams of them — and replaying records in index order reproduces a
+// run's aggregates byte-for-byte (emulation.Metrics is flat float64/int
+// data, which Go's JSON encoding round-trips exactly).
+type RunRecord struct {
+	Index   int               `json:"index"`
+	Cell    int               `json:"cell"`
+	Metrics emulation.Metrics `json:"metrics"`
+}
+
+// checkpointHeader is the first line of a checkpoint / shard result file.
+// It embeds the full defaulted suite (so -merge needs no side channel) and
+// its fingerprint (so resume and merge refuse records from a different
+// grid).
+type checkpointHeader struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Shard       string `json:"shard"`
+	Scenarios   int    `json:"scenarios"`
+	Suite       Suite  `json:"suite"`
+}
+
+// CheckpointVersion is the current checkpoint/shard-file format version.
+const CheckpointVersion = 1
+
+// checkpointSyncEvery bounds the records between fsyncs; a crash loses at
+// most this many completed scenarios.
+const checkpointSyncEvery = 16
+
+// Checkpoint is the parsed content of a checkpoint or shard result file.
+type Checkpoint struct {
+	// Suite is the defaulted suite the records were produced from.
+	Suite Suite
+	// Shard is the slice of the scenario index set the writer was assigned.
+	Shard Shard
+	// Records maps scenario index to its completed record.
+	Records map[int]RunRecord
+	// validBytes is the extent of the intact newline-terminated prefix;
+	// AppendCheckpoint truncates to it so a torn tail is never glued onto
+	// fresh records.
+	validBytes int64
+}
+
+// ReadCheckpoint parses a checkpoint file. The format is JSONL: a header
+// line followed by one record per line. A torn final line — the signature
+// of a run killed mid-write — is ignored, so a crashed run's file is
+// always loadable; corruption anywhere else is an error.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: read checkpoint: %w", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	// Drop trailing empty lines (the file ends with a newline when intact).
+	for len(lines) > 0 && strings.TrimSpace(lines[len(lines)-1]) == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: checkpoint %s is empty", ErrBadSuite, path)
+	}
+	// A line is only durable once its newline is on disk. A file that does
+	// not end in '\n' was killed mid-write: its final line is torn even if
+	// the cut happened to land after complete JSON — counting it would make
+	// validBytes overshoot the file and corrupt the truncate-then-append
+	// resume path.
+	torn := data[len(data)-1] != '\n'
+	if torn && len(lines) == 1 {
+		return nil, fmt.Errorf("%w: checkpoint %s has a torn header", ErrBadSuite, path)
+	}
+	body := lines[1:]
+	if torn {
+		body = body[:len(body)-1]
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		return nil, fmt.Errorf("%w: checkpoint %s header: %v", ErrBadSuite, path, err)
+	}
+	if hdr.Version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: checkpoint %s version %d, want %d",
+			ErrBadSuite, path, hdr.Version, CheckpointVersion)
+	}
+	if got := hdr.Suite.Fingerprint(); got != hdr.Fingerprint {
+		return nil, fmt.Errorf("%w: checkpoint %s fingerprint %s does not match its suite (%s)",
+			ErrBadSuite, path, hdr.Fingerprint, got)
+	}
+	shard, err := ParseShard(hdr.Shard)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint %s: %v", ErrBadSuite, path, err)
+	}
+	ck := &Checkpoint{
+		Suite:      hdr.Suite,
+		Shard:      shard,
+		Records:    make(map[int]RunRecord, len(body)),
+		validBytes: int64(len(lines[0]) + 1),
+	}
+	for i, line := range body {
+		var rec RunRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if i == len(body)-1 {
+				break // torn tail from a killed run; the record is simply redone
+			}
+			return nil, fmt.Errorf("%w: checkpoint %s line %d: %v", ErrBadSuite, path, i+2, err)
+		}
+		if rec.Index < 0 || rec.Index >= hdr.Scenarios || !shard.Contains(rec.Index) {
+			return nil, fmt.Errorf("%w: checkpoint %s has out-of-shard scenario %d",
+				ErrBadSuite, path, rec.Index)
+		}
+		ck.Records[rec.Index] = rec
+		ck.validBytes += int64(len(line) + 1)
+	}
+	return ck, nil
+}
+
+// CheckpointWriter appends run records to a checkpoint file as they
+// complete, fsyncing every checkpointSyncEvery records so a killed run can
+// be resumed with bounded rework.
+type CheckpointWriter struct {
+	f        *os.File
+	w        *bufio.Writer
+	unsynced int
+}
+
+// CreateCheckpoint creates (truncating) a checkpoint file for the suite
+// and shard and writes the header.
+func CreateCheckpoint(path string, suite Suite, shard Shard) (*CheckpointWriter, error) {
+	suite = suite.withDefaults()
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: create checkpoint: %w", err)
+	}
+	w := &CheckpointWriter{f: f, w: bufio.NewWriter(f)}
+	hdr := checkpointHeader{
+		Version:     CheckpointVersion,
+		Fingerprint: suite.Fingerprint(),
+		Shard:       shard.String(),
+		Scenarios:   suite.NumScenarios(),
+		Suite:       suite,
+	}
+	if err := w.writeLine(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// AppendCheckpoint reopens the checkpoint file ck was read from to append
+// fresh records after a resume. It first truncates the file to ck's intact
+// prefix, discarding any torn final line a kill left behind — otherwise
+// the first appended record would be glued onto the fragment, corrupting
+// the file for -merge and later resumes.
+func AppendCheckpoint(path string, ck *Checkpoint) (*CheckpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: append checkpoint: %w", err)
+	}
+	if err := f.Truncate(ck.validBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: append checkpoint: %w", err)
+	}
+	if _, err := f.Seek(ck.validBytes, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleet: append checkpoint: %w", err)
+	}
+	return &CheckpointWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one completed scenario record.
+func (c *CheckpointWriter) Append(rec RunRecord) error {
+	if err := c.writeLine(rec); err != nil {
+		return err
+	}
+	c.unsynced++
+	if c.unsynced >= checkpointSyncEvery {
+		return c.sync()
+	}
+	return nil
+}
+
+// Close flushes, syncs and closes the file.
+func (c *CheckpointWriter) Close() error {
+	err := c.sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (c *CheckpointWriter) writeLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	if _, err := c.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (c *CheckpointWriter) sync() error {
+	c.unsynced = 0
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadShardSet reads and cross-validates a set of checkpoint / shard
+// result files for merging: every file must describe the same suite
+// (by fingerprint), and no scenario may appear in two files. It returns
+// the common suite and the combined record map, ready for MergeRecords.
+func ReadShardSet(paths []string) (Suite, map[int]RunRecord, error) {
+	if len(paths) == 0 {
+		return Suite{}, nil, fmt.Errorf("%w: no shard files", ErrBadSuite)
+	}
+	var suite Suite
+	var fingerprint string
+	combined := make(map[int]RunRecord)
+	for _, path := range paths {
+		ck, err := ReadCheckpoint(path)
+		if err != nil {
+			return Suite{}, nil, err
+		}
+		if fingerprint == "" {
+			suite, fingerprint = ck.Suite, ck.Suite.Fingerprint()
+		} else if got := ck.Suite.Fingerprint(); got != fingerprint {
+			return Suite{}, nil, fmt.Errorf("%w: %s was produced by a different suite (fingerprint %s, want %s)",
+				ErrBadSuite, path, got, fingerprint)
+		}
+		for idx, rec := range ck.Records {
+			if _, dup := combined[idx]; dup {
+				return Suite{}, nil, fmt.Errorf("%w: scenario %d appears in more than one shard file (%s)",
+					ErrBadSuite, idx, path)
+			}
+			combined[idx] = rec
+		}
+	}
+	return suite, combined, nil
+}

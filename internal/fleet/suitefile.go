@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SuiteFileVersion is the current JSON suite-definition schema version.
+// Readers reject files with a different version so that schema changes
+// surface as clear errors instead of silently misread grids.
+const SuiteFileVersion = 1
+
+// suiteFile is the on-disk envelope: a version stamp around the Suite
+// schema. The Suite fields are promoted, so a file reads naturally:
+//
+//	{
+//	  "version": 1,
+//	  "name": "my-grid",
+//	  "seed": 1,
+//	  "attackRates": [0.05, 0.1],
+//	  "policies": ["TOLERANCE", "NO-RECOVERY"]
+//	}
+type suiteFile struct {
+	Version int `json:"version"`
+	Suite
+}
+
+// ParseSuite decodes a versioned JSON suite definition. Decoding is strict
+// (unknown fields are errors, catching typos like "atackRates"), the
+// version must match SuiteFileVersion, and the suite must validate.
+func ParseSuite(data []byte) (Suite, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sf suiteFile
+	if err := dec.Decode(&sf); err != nil {
+		return Suite{}, fmt.Errorf("%w: parse suite: %v", ErrBadSuite, err)
+	}
+	if sf.Version != SuiteFileVersion {
+		return Suite{}, fmt.Errorf("%w: suite file version %d, want %d",
+			ErrBadSuite, sf.Version, SuiteFileVersion)
+	}
+	if sf.Name == "" {
+		return Suite{}, fmt.Errorf("%w: suite file has no name", ErrBadSuite)
+	}
+	if err := sf.Suite.Validate(); err != nil {
+		return Suite{}, err
+	}
+	return sf.Suite, nil
+}
+
+// LoadSuiteFile reads a JSON suite definition from disk.
+func LoadSuiteFile(path string) (Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Suite{}, fmt.Errorf("fleet: load suite: %w", err)
+	}
+	s, err := ParseSuite(data)
+	if err != nil {
+		return Suite{}, fmt.Errorf("%w (%s)", err, path)
+	}
+	return s, nil
+}
+
+// DumpSuite serializes the suite as an indented versioned JSON document
+// with every default made explicit, so a dumped built-in grid is a
+// complete, editable starting point for user-authored suites.
+func DumpSuite(s Suite) ([]byte, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(suiteFile{Version: SuiteFileVersion, Suite: s}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Fingerprint canonicalizes the defaulted suite into a short hash. Shard
+// result files and checkpoints carry it so that merge and resume refuse to
+// combine records produced by different grids (or by the same grid with
+// different overrides).
+func (s Suite) Fingerprint() string {
+	data, err := json.Marshal(s.withDefaults())
+	if err != nil {
+		// Suite is a plain data struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("fleet: fingerprint suite: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}

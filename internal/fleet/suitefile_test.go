@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSuiteJSONRoundTrip is the suite-file contract: dumping any built-in
+// suite and loading it back must expand to the identical scenario list
+// (cells, indices, seeds — everything the engine consumes).
+func TestSuiteJSONRoundTrip(t *testing.T) {
+	for _, orig := range Builtin() {
+		data, err := DumpSuite(orig)
+		if err != nil {
+			t.Fatalf("%s: dump: %v", orig.Name, err)
+		}
+		loaded, err := ParseSuite(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", orig.Name, err)
+		}
+		if !reflect.DeepEqual(loaded, orig.withDefaults()) {
+			t.Errorf("%s: round-trip suite differs:\ngot  %+v\nwant %+v",
+				orig.Name, loaded, orig.withDefaults())
+		}
+		if !reflect.DeepEqual(loaded.Cells(), orig.Cells()) {
+			t.Errorf("%s: round-trip cell expansion differs", orig.Name)
+		}
+		if loaded.Fingerprint() != orig.Fingerprint() {
+			t.Errorf("%s: round-trip fingerprint %s != %s",
+				orig.Name, loaded.Fingerprint(), orig.Fingerprint())
+		}
+		// A second dump is byte-identical (defaults are idempotent).
+		again, err := DumpSuite(loaded)
+		if err != nil {
+			t.Fatalf("%s: re-dump: %v", orig.Name, err)
+		}
+		if string(again) != string(data) {
+			t.Errorf("%s: re-dump differs from dump", orig.Name)
+		}
+	}
+}
+
+func TestLoadSuiteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "suite.json")
+	data, err := DumpSuite(Builtin()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSuiteFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != Builtin()[0].Name {
+		t.Errorf("loaded suite %q", s.Name)
+	}
+	if _, err := LoadSuiteFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestParseSuiteRejections(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"version": 1, "name": "x"`,
+		"missing version": `{"name": "x"}`,
+		"future version":  `{"version": 99, "name": "x"}`,
+		"missing name":    `{"version": 1}`,
+		"unknown field":   `{"version": 1, "name": "x", "atackRates": [0.1]}`,
+		"invalid axis":    `{"version": 1, "name": "x", "attackRates": [1.5]}`,
+		"bad policy":      `{"version": 1, "name": "x", "policies": ["NOPE"]}`,
+	}
+	for label, src := range cases {
+		if _, err := ParseSuite([]byte(src)); err == nil {
+			t.Errorf("%s: expected error", label)
+		}
+	}
+	// The minimal valid file: version + name; everything else defaults.
+	s, err := ParseSuite([]byte(`{"version": 1, "name": "minimal"}`))
+	if err != nil {
+		t.Fatalf("minimal suite: %v", err)
+	}
+	if got, want := s.withDefaults().NumScenarios(), (Suite{}).withDefaults().NumScenarios(); got != want {
+		t.Errorf("minimal suite expands to %d scenarios, want default %d", got, want)
+	}
+}
+
+// TestSuiteFingerprint: equal grids agree, any axis or override change
+// disagrees — the property resume and merge rely on to refuse mixing
+// records across grids.
+func TestSuiteFingerprint(t *testing.T) {
+	a := Builtin()[0]
+	if a.Fingerprint() != Builtin()[0].Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Defaulting must not change the fingerprint (the CLI fingerprints the
+	// overridden-but-not-yet-defaulted suite).
+	if a.Fingerprint() != a.withDefaults().Fingerprint() {
+		t.Error("defaulting changed the fingerprint")
+	}
+	mutations := []func(*Suite){
+		func(s *Suite) { s.Seed++ },
+		func(s *Suite) { s.Steps++ },
+		func(s *Suite) { s.SeedsPerCell++ },
+		func(s *Suite) { s.AttackRates = append(s.AttackRates, 0.2) },
+		func(s *Suite) { s.Policies = []PolicyKind{PolicyPeriodic} },
+	}
+	for i, mutate := range mutations {
+		m := a
+		// Deep-enough copy for the slices the mutations touch.
+		m.AttackRates = append([]float64(nil), a.AttackRates...)
+		mutate(&m)
+		if m.Fingerprint() == a.Fingerprint() {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}
+
+func TestDumpSuiteInvalid(t *testing.T) {
+	bad := Suite{Name: "bad", AttackRates: []float64{2}}
+	if _, err := DumpSuite(bad); err == nil || !strings.Contains(err.Error(), "attack rate") {
+		t.Errorf("dump of invalid suite: %v", err)
+	}
+}

@@ -21,8 +21,13 @@
 //     scenario index), a strategy cache solves each distinct control
 //     problem once, and per-cell metrics stream through Welford
 //     accumulators — the same grid is byte-identical at any worker count.
+//     RunFleetSuiteFile runs user-authored JSON suite definitions
+//     (FleetSuiteJSON exports the built-ins as editable starting points).
 //     The cmd/tolerance-fleet CLI wraps the engine with suite selection,
-//     worker count and JSON/CSV output.
+//     worker count and JSON/CSV output, and scales out: -shard i/n runs a
+//     deterministic slice of the grid, -merge folds shard result files
+//     into the exact aggregate a single machine would produce, and
+//     -checkpoint/-resume survive kills mid-grid.
 //
 // Lower-level building blocks (the MinBFT and Raft implementations, the
 // POMDP solvers, the emulation, the fleet engine) live under internal/ and
@@ -395,6 +400,32 @@ func RunFleetSuite(name string, opts FleetOptions) (*FleetReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
+	return runFleet(suite, opts)
+}
+
+// RunFleetSuiteFile executes a user-authored JSON suite definition (the
+// schema that `tolerance-fleet -dump-suite` exports), so new grids run
+// without recompiling.
+func RunFleetSuiteFile(path string, opts FleetOptions) (*FleetReport, error) {
+	suite, err := fleet.LoadSuiteFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return runFleet(suite, opts)
+}
+
+// FleetSuiteJSON exports a built-in suite as a versioned JSON document
+// with every default made explicit — a complete, editable starting point
+// for user-authored grids.
+func FleetSuiteJSON(name string) ([]byte, error) {
+	suite, err := fleet.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return fleet.DumpSuite(suite)
+}
+
+func runFleet(suite fleet.Suite, opts FleetOptions) (*FleetReport, error) {
 	if opts.Seed != 0 {
 		suite.Seed = opts.Seed
 	}
@@ -404,21 +435,24 @@ func RunFleetSuite(name string, opts FleetOptions) (*FleetReport, error) {
 	if opts.SeedsPerCell != 0 {
 		suite.SeedsPerCell = opts.SeedsPerCell
 	}
+	cache := fleet.NewStrategyCache()
 	res, err := fleet.Run(context.Background(), suite, fleet.Config{
 		Workers:  opts.Workers,
+		Cache:    cache,
 		Progress: opts.Progress,
 	})
 	if err != nil {
 		return nil, err
 	}
+	stats := cache.Stats()
 	report := &FleetReport{
 		Suite:             res.Suite,
 		Seed:              res.Seed,
 		Scenarios:         res.Scenarios,
 		Cells:             make([]FleetCellMetrics, len(res.Cells)),
-		RecoverySolves:    int(res.Cache.RecoverySolves),
-		ReplicationSolves: int(res.Cache.ReplicationSolves),
-		CacheHits:         int(res.Cache.RecoveryHits + res.Cache.ReplicationHits),
+		RecoverySolves:    int(stats.RecoverySolves),
+		ReplicationSolves: int(stats.ReplicationSolves),
+		CacheHits:         int(stats.RecoveryHits + stats.ReplicationHits),
 	}
 	for i, c := range res.Cells {
 		a := c.Aggregate

@@ -2,6 +2,9 @@ package tolerance
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -88,6 +91,34 @@ func TestRunFleetSuiteFacade(t *testing.T) {
 	}
 	if _, err := RunFleetSuite("no-such-suite", FleetOptions{}); err == nil {
 		t.Error("unknown suite should fail")
+	}
+}
+
+func TestRunFleetSuiteFileFacade(t *testing.T) {
+	data, err := FleetSuiteJSON("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "smoke.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := RunFleetSuiteFile(path, FleetOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin, err := RunFleetSuite("smoke", FleetOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFile, builtin) {
+		t.Errorf("suite-file run differs from built-in run:\n%+v\n%+v", fromFile, builtin)
+	}
+	if _, err := FleetSuiteJSON("no-such-suite"); err == nil {
+		t.Error("unknown suite should fail")
+	}
+	if _, err := RunFleetSuiteFile(filepath.Join(t.TempDir(), "missing.json"), FleetOptions{}); err == nil {
+		t.Error("missing suite file should fail")
 	}
 }
 
