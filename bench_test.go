@@ -154,12 +154,31 @@ func BenchmarkFig08DPHorizon(b *testing.B) {
 	for _, deltaR := range []int{5, 15, 25} {
 		deltaR := deltaR
 		b.Run(fmt.Sprintf("deltaR=%d", deltaR), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := recovery.SolveDP(params, recovery.DPConfig{DeltaR: deltaR, GridSize: 300}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSolveStationary measures the Delta_R = infinity solve: bisection
+// on the average cost around a double-buffered optimal-stopping value
+// iteration (the companion to BenchmarkFig08DPHorizon's windowed solves).
+func BenchmarkSolveStationary(b *testing.B) {
+	params := nodemodel.DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sol, err := recovery.SolveDP(params, recovery.DPConfig{
+			DeltaR: recovery.InfiniteDeltaR, GridSize: 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sol.Thresholds) != 1 {
+			b.Fatal("stationary solve should yield one threshold")
+		}
 	}
 }
 
@@ -380,6 +399,7 @@ func BenchmarkFleet(b *testing.B) {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cache := fleet.NewStrategyCache()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := fleet.Run(context.Background(), suite, fleet.Config{
@@ -404,6 +424,7 @@ func BenchmarkFleet(b *testing.B) {
 func BenchmarkBeliefUpdate(b *testing.B) {
 	p := nodemodel.DefaultParams()
 	belief := 0.3
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		belief = p.UpdateBelief(belief, nodemodel.Wait, i%11)
 	}

@@ -22,15 +22,27 @@ import (
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/opt"
 	"tolerance/internal/pomdp"
+	"tolerance/internal/profiling"
 	"tolerance/internal/recovery"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id or 'all'")
 	full := flag.Bool("full", false, "use larger budgets")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
-	if err := run(*experiment, *full); err != nil {
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tolerance-bench:", err)
+		os.Exit(1)
+	}
+	runErr := run(*experiment, *full)
+	if err := stopProfiles(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tolerance-bench:", runErr)
 		os.Exit(1)
 	}
 }

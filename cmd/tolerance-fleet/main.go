@@ -38,6 +38,7 @@ import (
 	"strconv"
 
 	"tolerance/internal/fleet"
+	"tolerance/internal/profiling"
 )
 
 func main() {
@@ -47,7 +48,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	suiteName := flag.String("suite", "paper-grid", "built-in suite to run (-list shows all)")
 	suiteFile := flag.String("suite-file", "", "JSON suite definition to run instead of a built-in (see -dump-suite)")
 	dumpSuite := flag.String("dump-suite", "", "print the named built-in suite as JSON (with overrides applied) and exit")
@@ -63,7 +64,20 @@ func run() error {
 	merge := flag.Bool("merge", false, "fold the shard/checkpoint files given as arguments into the full-suite result and print it")
 	format := flag.String("format", "table", "output format: table | json | csv")
 	quiet := flag.Bool("quiet", false, "suppress the progress meter and cache statistics on stderr")
+	noFitCache := flag.Bool("no-fit-cache", false, "refit Ẑ inside every scenario instead of once per suite (diagnostic; output is identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	switch {
 	case *list:
@@ -80,7 +94,6 @@ func run() error {
 	}
 
 	var suite fleet.Suite
-	var err error
 	if *suiteFile != "" {
 		if *dumpSuite != "" {
 			return fmt.Errorf("-dump-suite names a built-in suite and conflicts with -suite-file")
@@ -132,7 +145,7 @@ func run() error {
 	}
 
 	cache := fleet.NewStrategyCache()
-	cfg := fleet.Config{Workers: *workers, Cache: cache, Shard: shard}
+	cfg := fleet.Config{Workers: *workers, Cache: cache, Shard: shard, NoFitCache: *noFitCache}
 	if !*quiet {
 		cfg.Progress = func(done, total int) {
 			if done%10 == 0 || done == total {
@@ -192,9 +205,9 @@ func run() error {
 	}
 	if !*quiet {
 		stats := cache.Stats()
-		fmt.Fprintf(os.Stderr, "strategy cache: %d recovery + %d replication solves, %d hits\n",
-			stats.RecoverySolves, stats.ReplicationSolves,
-			stats.RecoveryHits+stats.ReplicationHits)
+		fmt.Fprintf(os.Stderr, "strategy cache: %d recovery + %d replication solves + %d fits, %d hits\n",
+			stats.RecoverySolves, stats.ReplicationSolves, stats.FitSolves,
+			stats.RecoveryHits+stats.ReplicationHits+stats.FitHits)
 	}
 	return writeResult(os.Stdout, res, *format)
 }

@@ -189,6 +189,57 @@ func SampleBernoulli(rng *rand.Rand, p float64) bool {
 	return rng.Float64() < p
 }
 
+// SampleBinomial draws a Binomial(n, p) count by CDF inversion with a
+// single uniform per chunk: the pmf is walked from k = 0 with the
+// recurrence P[k+1] = P[k] (n-k)/(k+1) p/(1-p) until the running CDF
+// passes u. The cost is O(E[X]) arithmetic and O(1 + n p / 700) rng draws
+// — the emulation uses it to retire per-session Bernoulli loops. Trial
+// counts large enough that (1-p)^n would underflow are split by binomial
+// additivity (as SamplePoisson splits large rates), so the sampler is
+// exact at any n.
+func SampleBinomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	q := 1 - p
+	// Largest chunk whose P[X = 0] = q^chunk stays clear of the float64
+	// underflow threshold (e^-700 ~ 1e-304).
+	chunk := n
+	if lq := math.Log(q); float64(n)*lq < -700 {
+		chunk = int(-700 / lq)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	k := 0
+	for n > 0 {
+		m := n
+		if m > chunk {
+			m = chunk
+		}
+		k += sampleBinomialInv(rng, m, p, q)
+		n -= m
+	}
+	return k
+}
+
+// sampleBinomialInv is the single-uniform CDF walk for q^n > 0.
+func sampleBinomialInv(rng *rand.Rand, n int, p, q float64) int {
+	u := rng.Float64()
+	pk := math.Pow(q, float64(n)) // P[X = 0]
+	cdf := pk
+	k := 0
+	for u >= cdf && k < n {
+		pk *= float64(n-k) / float64(k+1) * (p / q)
+		k++
+		cdf += pk
+	}
+	return k
+}
+
 // SamplePoisson draws a Poisson(lambda) count with Knuth's product-of-
 // uniforms method, splitting large rates by Poisson additivity to keep the
 // running product away from underflow.

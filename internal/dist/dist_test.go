@@ -190,6 +190,64 @@ func TestSamplePoisson(t *testing.T) {
 	}
 }
 
+// TestSampleBinomial checks the one-uniform inversion sampler: edge
+// cases, determinism, and agreement of the first two moments with
+// Binomial(n, p) across the emulation's operating range.
+func TestSampleBinomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if SampleBinomial(rng, 0, 0.5) != 0 || SampleBinomial(rng, -3, 0.5) != 0 {
+		t.Error("n <= 0 should give 0")
+	}
+	if SampleBinomial(rng, 10, 0) != 0 || SampleBinomial(rng, 10, -1) != 0 {
+		t.Error("p <= 0 should give 0")
+	}
+	if SampleBinomial(rng, 10, 1) != 10 || SampleBinomial(rng, 10, 1.5) != 10 {
+		t.Error("p >= 1 should give n")
+	}
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if SampleBinomial(r1, 80, 0.25) != SampleBinomial(r2, 80, 0.25) {
+			t.Fatal("sampler not deterministic for equal rng states")
+		}
+	}
+	// 20000 trials at p = 0.04 drives (1-p)^n into float64 underflow: the
+	// sampler must split by additivity rather than degenerate to n.
+	bigSum := 0.0
+	const bigDraws = 2000
+	for i := 0; i < bigDraws; i++ {
+		bigSum += float64(SampleBinomial(rng, 20000, 0.04))
+	}
+	if mean, want := bigSum/bigDraws, 20000*0.04; math.Abs(mean-want) > 0.05*want {
+		t.Errorf("n=20000 p=0.04: empirical mean %v, want ~%v (underflow regression)", mean, want)
+	}
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{80, 0.25}, {10, 0.5}, {200, 0.04}, {5, 0.9}} {
+		const draws = 50000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			v := float64(SampleBinomial(rng, tc.n, tc.p))
+			if v < 0 || v > float64(tc.n) {
+				t.Fatalf("n=%d p=%v: draw %v out of range", tc.n, tc.p, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / draws
+		variance := sumSq/draws - mean*mean
+		wantMean := float64(tc.n) * tc.p
+		wantVar := wantMean * (1 - tc.p)
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.05 {
+			t.Errorf("n=%d p=%v: empirical mean %v, want %v", tc.n, tc.p, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.1*wantVar+0.1 {
+			t.Errorf("n=%d p=%v: empirical variance %v, want %v", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
 func TestSampleBernoulli(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	if SampleBernoulli(rng, 0) || !SampleBernoulli(rng, 1) {

@@ -13,7 +13,9 @@ package emulation
 
 import (
 	"fmt"
+	"sync"
 
+	"tolerance/internal/dist"
 	"tolerance/internal/ids"
 )
 
@@ -32,11 +34,52 @@ type Container struct {
 	Profile ids.Profile
 }
 
+var (
+	catalogOnce sync.Once
+	catalogMem  []Container
+	catalogErr  error
+	catalogFP   string
+)
+
 // Catalog returns the ten replica containers of Tables 4-6. Alert profiles
 // are Beta-Binomial shapes whose separation varies per container, mirroring
 // the spread of empirical distributions in Fig 11 (brute-force intrusions
 // are the loudest; some CVE exploits are subtler).
+//
+// The catalog is built once per process: profile tabulation costs thousands
+// of Lgamma evaluations, which used to run on every scenario. Callers get a
+// fresh slice sharing the immutable profiles, so mutating a returned entry
+// cannot corrupt later calls.
 func Catalog() ([]Container, error) {
+	catalogOnce.Do(func() {
+		catalogMem, catalogErr = buildCatalog()
+		if catalogErr != nil {
+			return
+		}
+		values := []float64{float64(len(catalogMem))}
+		for _, c := range catalogMem {
+			values = append(values, c.Profile.NoIntrusion.Probs()...)
+			values = append(values, c.Profile.Intrusion.Probs()...)
+		}
+		catalogFP = dist.Fingerprint(values...)
+	})
+	if catalogErr != nil {
+		return nil, catalogErr
+	}
+	return append([]Container(nil), catalogMem...), nil
+}
+
+// CatalogFingerprint returns a canonical hash over every alert profile of
+// the catalog — the identity of the observation models a FitSet estimates.
+// Fit caches key on it together with the sample count and fit seed.
+func CatalogFingerprint() (string, error) {
+	if _, err := Catalog(); err != nil {
+		return "", err
+	}
+	return catalogFP, nil
+}
+
+func buildCatalog() ([]Container, error) {
 	type spec struct {
 		id       int
 		os       string

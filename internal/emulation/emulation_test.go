@@ -35,6 +35,148 @@ func TestCatalogTenContainers(t *testing.T) {
 	}
 }
 
+// TestCatalogCachedAndEqual is the sync.Once contract: repeated Catalog
+// calls return equal catalogs (same profiles, same metadata), and mutating
+// a returned slice cannot corrupt later calls.
+func TestCatalogCachedAndEqual(t *testing.T) {
+	c1, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != len(c2) {
+		t.Fatalf("catalog lengths differ: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i].ID != c2[i].ID || c1[i].OS != c2[i].OS {
+			t.Errorf("container %d metadata differs", i)
+		}
+		if c1[i].Profile.NoIntrusion != c2[i].Profile.NoIntrusion ||
+			c1[i].Profile.Intrusion != c2[i].Profile.Intrusion {
+			t.Errorf("container %d does not share the cached profile", i)
+		}
+	}
+	c1[0] = Container{} // callers own their slice
+	c3, err := Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3[0].ID != c2[0].ID {
+		t.Error("mutating a returned catalog corrupted the cache")
+	}
+	fp1, err := CatalogFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, _ := CatalogFingerprint()
+	if fp1 == "" || fp1 != fp2 {
+		t.Errorf("catalog fingerprint unstable: %q vs %q", fp1, fp2)
+	}
+}
+
+// TestFitSetSharedEquivalence is the offline-fit contract: a run with a
+// pre-fitted observation-model set is identical to one that fits inline
+// from the same (samples, seed) pair — the fit is a pure preprocessing
+// step.
+func TestFitSetSharedEquivalence(t *testing.T) {
+	s := toleranceScenario(t, 3, 15, 11)
+	s.Steps = 150
+	inline, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := NewFitSet(s.FitSamples, FitStreamSeed(s.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Fits = fits
+	shared, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *inline != *shared {
+		t.Errorf("pre-fitted run differs from inline fit:\n%+v\n%+v", inline, shared)
+	}
+	if fits.Len() != 10 || fits.Samples() != s.FitSamples {
+		t.Errorf("fit set shape: len %d samples %d", fits.Len(), fits.Samples())
+	}
+	for i := 0; i < fits.Len(); i++ {
+		if fits.Fitted(i) == nil || fits.Container(i).ID != i+1 {
+			t.Errorf("fit %d malformed", i)
+		}
+	}
+}
+
+// TestFitStreamSeedSplitsStreams checks that the derived streams are
+// decorrelated from the base seed and from each other.
+func TestFitStreamSeedSplitsStreams(t *testing.T) {
+	if FitStreamSeed(7) == 7 || FitStreamSeed(7) == workloadStreamSeed(7) {
+		t.Error("fit stream not split from base/workload stream")
+	}
+	if FitStreamSeed(7) != FitStreamSeed(7) {
+		t.Error("fit stream seed not deterministic")
+	}
+	if FitStreamSeed(7) == FitStreamSeed(8) {
+		t.Error("fit stream seeds collide across base seeds")
+	}
+}
+
+// TestBeliefUpdateZeroAllocations guards the hot-path contract: one belief
+// recursion allocates nothing.
+func TestBeliefUpdateZeroAllocations(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	fits, err := NewFitSet(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zh, zc := fits.zh[0], fits.zc[0]
+	belief := 0.3
+	allocs := testing.AllocsPerRun(1000, func() {
+		belief = updateBeliefFitted(p, zh, zc, belief, nodemodel.Wait, 5)
+	})
+	if allocs != 0 {
+		t.Errorf("belief update allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestStepZeroAllocations guards the simulator's steady-state contract:
+// with no node churn (no intrusions, crashes or recoveries), a simulation
+// step allocates nothing — the per-step buffers are scratch on the runner.
+// Churn events (intrusion starts, recovery-time records, node spawns)
+// allocate by design; they are event-rate, not step-rate.
+func TestStepZeroAllocations(t *testing.T) {
+	params := nodemodel.DefaultParams()
+	params.PA = 0  // no intrusions
+	params.PC1 = 0 // no crashes
+	params.PC2 = 0
+	s := Scenario{
+		N1:         6,
+		Steps:      500,
+		Seed:       3,
+		Params:     params,
+		Policy:     baselines.NoRecovery{},
+		FitSamples: 300,
+	}
+	r, err := newRunner(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := 1
+	for ; t1 <= 50; t1++ {
+		r.step(t1) // warm the scratch buffers
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.step(t1)
+		t1++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state step allocates %v times, want 0", allocs)
+	}
+}
+
 func TestPhysicalClusterTable3(t *testing.T) {
 	nodes := PhysicalCluster()
 	if len(nodes) != 13 {

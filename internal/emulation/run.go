@@ -40,6 +40,16 @@ type Scenario struct {
 	Policy baselines.Policy
 	// FitSamples is M for the Ẑ estimation (paper: 25,000).
 	FitSamples int
+	// FitSeed seeds the dedicated Ẑ-fitting rng stream; zero derives it
+	// from Seed via FitStreamSeed. Fleet engines set one fit seed per
+	// suite so every scenario of a grid shares the same offline fit.
+	FitSeed int64
+	// Fits supplies a pre-fitted observation-model set (the offline
+	// training artifact, typically from a fleet-level fit cache). Nil fits
+	// one inside Run from (FitSamples, FitSeed); a run with a supplied set
+	// built from the same samples and seed is byte-identical to one that
+	// fits inline.
+	Fits *FitSet
 	// Workload is the background client population.
 	Workload BackgroundWorkload
 }
@@ -127,11 +137,13 @@ type Metrics struct {
 	Evictions, Additions int
 }
 
-// simNode is one virtual node of the testbed.
+// simNode is one virtual node of the testbed. zh and zc are the node
+// controller's dense likelihood tables Ẑ(.|H), Ẑ(.|C) for the node's
+// current container (rows of the scenario's FitSet).
 type simNode struct {
 	id            int
 	container     Container
-	fit           *ids.FittedZ
+	zh, zc        []float64
 	state         nodemodel.State
 	intrusion     *attacker.Intrusion
 	behaviour     attacker.Behaviour
@@ -143,292 +155,342 @@ type simNode struct {
 	lastObs       int
 }
 
-// Run executes a scenario and returns its metrics.
-func Run(s Scenario) (*Metrics, error) {
+// runner holds one scenario run's state: the rng streams, the node set,
+// running metric sums, and scratch buffers reused across steps so the
+// steady-state step loop allocates nothing (guarded by
+// TestStepZeroAllocations).
+type runner struct {
+	s    Scenario
+	rng  *rand.Rand // node/environment stream (seeded by Scenario.Seed)
+	wrng *rand.Rand // background-workload stream (arrivals + departures)
+	fits *FitSet
+
+	nodes  []*simNode
+	nextID int
+
+	m              Metrics
+	recoveryTimes  []float64
+	availableSteps int
+	quorumSteps    int
+	nodeSteps      int
+	totalNodes     float64
+	costSum        float64
+	obsSum         float64
+	obsCount       int
+	sessions       int
+
+	// Per-step scratch, reused across steps.
+	observations []int
+	recovering   []*simNode
+	candidates   []*simNode
+}
+
+// newRunner validates the scenario, resolves the offline fit, and places
+// the initial nodes.
+func newRunner(s Scenario) (*runner, error) {
 	if err := s.applyDefaults(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
-	catalog, err := Catalog()
-	if err != nil {
-		return nil, err
-	}
-	// Fit Ẑ per container once (the paper's offline training phase).
-	fits := make([]*ids.FittedZ, len(catalog))
-	for i, c := range catalog {
-		fit, err := ids.Fit(rng, c.Profile, s.FitSamples)
+	fits := s.Fits
+	if fits == nil {
+		fitSeed := s.FitSeed
+		if fitSeed == 0 {
+			fitSeed = FitStreamSeed(s.Seed)
+		}
+		var err error
+		fits, err = NewFitSet(s.FitSamples, fitSeed)
 		if err != nil {
 			return nil, err
 		}
-		fits[i] = fit
 	}
-
-	spawn := func(id, phase int) *simNode {
-		ci := rng.Intn(len(catalog))
-		return &simNode{
-			id:            id,
-			container:     catalog[ci],
-			fit:           fits[ci],
-			state:         nodemodel.Healthy,
-			belief:        s.Params.PA,
-			phase:         phase,
-			compromisedAt: -1,
-		}
+	r := &runner{
+		s:            s,
+		rng:          rand.New(rand.NewSource(s.Seed)),
+		wrng:         rand.New(rand.NewSource(workloadStreamSeed(s.Seed))),
+		fits:         fits,
+		nodes:        make([]*simNode, 0, s.SMax),
+		observations: make([]int, 0, s.SMax),
+		recovering:   make([]*simNode, 0, s.K),
+		candidates:   make([]*simNode, 0, s.SMax),
 	}
-
-	nodes := make([]*simNode, 0, s.SMax)
 	for i := 0; i < s.N1; i++ {
 		phase := 0
 		if s.DeltaR != recovery.InfiniteDeltaR {
 			phase = (i * s.DeltaR) / s.N1 // stagger forced recoveries
 		}
-		nodes = append(nodes, spawn(i, phase))
+		r.nodes = append(r.nodes, r.spawn(i, phase))
 	}
-	nextID := s.N1
+	r.nextID = s.N1
+	return r, nil
+}
 
-	m := &Metrics{}
-	var recoveryTimes []float64
-	availableSteps := 0
-	quorumSteps := 0
-	nodeSteps := 0
-	totalNodes := 0.0
-	costSum := 0.0
-	obsSum, obsCount := 0.0, 0
-	sessions := 0
+// spawn creates a node running a uniformly drawn catalog image.
+func (r *runner) spawn(id, phase int) *simNode {
+	ci := r.rng.Intn(r.fits.Len())
+	return &simNode{
+		id:            id,
+		container:     r.fits.Container(ci),
+		zh:            r.fits.zh[ci],
+		zc:            r.fits.zc[ci],
+		state:         nodemodel.Healthy,
+		belief:        r.s.Params.PA,
+		phase:         phase,
+		compromisedAt: -1,
+	}
+}
 
-	for t := 1; t <= s.Steps; t++ {
-		// Background client population (Poisson arrivals, exponential
-		// service); the load adds baseline alert noise.
-		sessions += dist.SamplePoisson(rng, s.Workload.Lambda)
-		leave := 0
-		for i := 0; i < sessions; i++ {
-			if rng.Float64() < 1/s.Workload.MeanServiceSteps {
-				leave++
+// Run executes a scenario and returns its metrics.
+func Run(s Scenario) (*Metrics, error) {
+	r, err := newRunner(s)
+	if err != nil {
+		return nil, err
+	}
+	for t := 1; t <= r.s.Steps; t++ {
+		r.step(t)
+	}
+	return r.finish(), nil
+}
+
+// step advances the simulation by one 60-second time step.
+func (r *runner) step(t int) {
+	s := &r.s
+	rng := r.rng
+
+	// Background client population (Poisson arrivals, exponential service
+	// approximated by geometric departures — a Binomial(sessions, 1/mu)
+	// thinning per step); the load adds baseline alert noise. Both draws
+	// come from the dedicated workload stream.
+	r.sessions += dist.SamplePoisson(r.wrng, s.Workload.Lambda)
+	r.sessions -= dist.SampleBinomial(r.wrng, r.sessions, 1/s.Workload.MeanServiceSteps)
+	load := float64(r.sessions) / (s.Workload.Lambda * s.Workload.MeanServiceSteps)
+
+	// 1. Observations and belief updates.
+	observations := r.observations[:0]
+	for _, n := range r.nodes {
+		obs := n.container.Profile.Sample(rng, n.state == nodemodel.Compromised)
+		obs += n.pendingBoost
+		n.pendingBoost = 0
+		if dist.SampleBernoulli(rng, 0.1*load) {
+			obs++ // background-traffic false alert
+		}
+		if obs >= ids.AlertSupport {
+			obs = ids.AlertSupport - 1
+		}
+		n.lastObs = obs
+		observations = append(observations, obs)
+		r.obsSum += float64(obs)
+		r.obsCount++
+		n.belief = updateBeliefFitted(s.Params, n.zh, n.zc, n.belief, n.lastAction, obs)
+	}
+	r.observations = observations
+
+	// 2. Action selection: forced calendar recoveries first, then the
+	// policy's threshold recoveries, capped at k parallel recoveries.
+	recovering := r.recovering[:0]
+	if s.Policy.UsesBTR() && s.DeltaR != recovery.InfiniteDeltaR {
+		for _, n := range r.nodes {
+			if (t+n.phase)%s.DeltaR == 0 && len(recovering) < s.K {
+				recovering = append(recovering, n)
 			}
 		}
-		sessions -= leave
-		load := float64(sessions) / (s.Workload.Lambda * s.Workload.MeanServiceSteps)
-
-		// 1. Observations and belief updates.
-		observations := make([]int, 0, len(nodes))
-		for _, n := range nodes {
-			obs := n.container.Profile.Sample(rng, n.state == nodemodel.Compromised)
-			obs += n.pendingBoost
-			n.pendingBoost = 0
-			if dist.SampleBernoulli(rng, 0.1*load) {
-				obs++ // background-traffic false alert
-			}
-			if obs >= ids.AlertSupport {
-				obs = ids.AlertSupport - 1
-			}
-			n.lastObs = obs
-			observations = append(observations, obs)
-			obsSum += float64(obs)
-			obsCount++
-			n.belief = updateBeliefFitted(s.Params, n.fit, n.belief, n.lastAction, obs)
+	}
+	// Threshold recoveries in descending belief order.
+	candidates := r.candidates[:0]
+	for _, n := range r.nodes {
+		if containsNode(recovering, n) {
+			continue
 		}
-
-		// 2. Action selection: forced calendar recoveries first, then the
-		// policy's threshold recoveries, capped at k parallel recoveries.
-		recovering := make([]*simNode, 0, s.K)
-		if s.Policy.UsesBTR() && s.DeltaR != recovery.InfiniteDeltaR {
-			for _, n := range nodes {
-				if (t+n.phase)%s.DeltaR == 0 && len(recovering) < s.K {
-					recovering = append(recovering, n)
-				}
-			}
-		}
-		// Threshold recoveries in descending belief order.
-		candidates := make([]*simNode, 0, len(nodes))
-		for _, n := range nodes {
-			if containsNode(recovering, n) {
+		windowPos := t + n.phase
+		if s.DeltaR != recovery.InfiniteDeltaR {
+			windowPos = (t + n.phase) % s.DeltaR
+			if windowPos == 0 {
 				continue
 			}
-			windowPos := t + n.phase
-			if s.DeltaR != recovery.InfiniteDeltaR {
-				windowPos = (t + n.phase) % s.DeltaR
-				if windowPos == 0 {
-					continue
-				}
-			}
-			action := s.Policy.NodeAction(baselines.NodeContext{
-				Belief:    n.belief,
-				Obs:       n.lastObs,
-				WindowPos: windowPos,
-				DeltaR:    s.DeltaR,
-			})
-			if action == nodemodel.Recover {
-				candidates = append(candidates, n)
-			}
 		}
-		sortByBelief(candidates)
-		for _, n := range candidates {
-			if len(recovering) >= s.K {
-				break
-			}
-			recovering = append(recovering, n)
+		action := s.Policy.NodeAction(baselines.NodeContext{
+			Belief:    n.belief,
+			Obs:       n.lastObs,
+			WindowPos: windowPos,
+			DeltaR:    s.DeltaR,
+		})
+		if action == nodemodel.Recover {
+			candidates = append(candidates, n)
 		}
+	}
+	sortByBelief(candidates)
+	for _, n := range candidates {
+		if len(recovering) >= s.K {
+			break
+		}
+		recovering = append(recovering, n)
+	}
+	r.recovering, r.candidates = recovering, candidates
 
-		// 3. Apply recoveries: the container is replaced with a random
-		// image from Table 4 (§VIII-A) and the belief resets.
-		for _, n := range nodes {
-			n.lastAction = nodemodel.Wait
+	// 3. Apply recoveries: the container is replaced with a random
+	// image from Table 4 (§VIII-A) and the belief resets.
+	for _, n := range r.nodes {
+		n.lastAction = nodemodel.Wait
+	}
+	for _, n := range recovering {
+		r.m.Recoveries++
+		if n.compromisedAt >= 0 {
+			r.recoveryTimes = append(r.recoveryTimes, float64(t-n.compromisedAt))
+			n.compromisedAt = -1
 		}
-		for _, n := range recovering {
-			m.Recoveries++
-			if n.compromisedAt >= 0 {
-				recoveryTimes = append(recoveryTimes, float64(t-n.compromisedAt))
-				n.compromisedAt = -1
-			}
-			ci := rng.Intn(len(catalog))
-			n.container = catalog[ci]
-			n.fit = fits[ci]
-			n.state = nodemodel.Healthy
-			n.intrusion = nil
-			n.belief = s.Params.PA
-			n.lastAction = nodemodel.Recover
-		}
+		ci := rng.Intn(r.fits.Len())
+		n.container = r.fits.Container(ci)
+		n.zh = r.fits.zh[ci]
+		n.zc = r.fits.zc[ci]
+		n.state = nodemodel.Healthy
+		n.intrusion = nil
+		n.belief = s.Params.PA
+		n.lastAction = nodemodel.Recover
+	}
 
-		// 4. System controller: evict crashed nodes (they failed to report
-		// a belief, §V-B), then decide whether to add one.
-		evictedNow := 0
-		alive := nodes[:0]
-		for _, n := range nodes {
-			if n.state == nodemodel.Crashed {
-				m.Evictions++
-				evictedNow++
+	// 4. System controller: evict crashed nodes (they failed to report
+	// a belief, §V-B), then decide whether to add one.
+	evictedNow := 0
+	alive := r.nodes[:0]
+	for _, n := range r.nodes {
+		if n.state == nodemodel.Crashed {
+			r.m.Evictions++
+			evictedNow++
+			continue
+		}
+		alive = append(alive, n)
+	}
+	r.nodes = alive
+	healthyEstimate := 0.0
+	for _, n := range r.nodes {
+		healthyEstimate += 1 - n.belief
+	}
+	est := int(math.Floor(healthyEstimate))
+	if est > s.SMax {
+		est = s.SMax
+	}
+	meanObs := 0.0
+	if r.obsCount > 0 {
+		meanObs = r.obsSum / float64(r.obsCount)
+	}
+	if len(r.nodes) < s.SMax && s.Policy.AddNode(baselines.SystemContext{
+		HealthyEstimate: est,
+		AliveNodes:      len(r.nodes),
+		Observations:    observations,
+		MeanObs:         meanObs,
+		Rng:             rng,
+	}) {
+		phase := 0
+		if s.DeltaR != recovery.InfiniteDeltaR {
+			phase = rng.Intn(s.DeltaR)
+		}
+		r.nodes = append(r.nodes, r.spawn(r.nextID, phase))
+		r.nextID++
+		r.m.Additions++
+	}
+
+	// 5. Metrics: T(A) counts the steps where at most f nodes are
+	// compromised or crashed (§III-C; crashed nodes were evicted in
+	// stage 4, so they are exactly this step's eviction count).
+	compromised := 0
+	for _, n := range r.nodes {
+		switch {
+		case n.lastAction == nodemodel.Recover:
+			r.costSum++ // eq. (5): a recovery costs 1
+		case n.state == nodemodel.Compromised:
+			r.costSum += s.Params.Eta // eq. (5): waiting while compromised
+		}
+		if n.state == nodemodel.Compromised {
+			compromised++
+		}
+	}
+	if compromised+evictedNow <= s.F {
+		r.availableSteps++
+		if len(r.nodes) >= 2*s.F+1+s.K {
+			r.quorumSteps++
+		}
+	}
+	r.nodeSteps += len(r.nodes)
+	r.totalNodes += float64(len(r.nodes))
+
+	// 6. Environment transition: intrusions, crashes, updates.
+	for _, n := range r.nodes {
+		switch n.state {
+		case nodemodel.Healthy:
+			if dist.SampleBernoulli(rng, s.Params.PC1) {
+				n.state = nodemodel.Crashed
 				continue
 			}
-			alive = append(alive, n)
-		}
-		nodes = alive
-		healthyEstimate := 0.0
-		for _, n := range nodes {
-			healthyEstimate += 1 - n.belief
-		}
-		est := int(math.Floor(healthyEstimate))
-		if est > s.SMax {
-			est = s.SMax
-		}
-		meanObs := 0.0
-		if obsCount > 0 {
-			meanObs = obsSum / float64(obsCount)
-		}
-		if len(nodes) < s.SMax && s.Policy.AddNode(baselines.SystemContext{
-			HealthyEstimate: est,
-			AliveNodes:      len(nodes),
-			Observations:    observations,
-			MeanObs:         meanObs,
-			Rng:             rng,
-		}) {
-			phase := 0
-			if s.DeltaR != recovery.InfiniteDeltaR {
-				phase = rng.Intn(s.DeltaR)
-			}
-			nodes = append(nodes, spawn(nextID, phase))
-			nextID++
-			m.Additions++
-		}
-
-		// 5. Metrics: T(A) counts the steps where at most f nodes are
-		// compromised or crashed (§III-C; crashed nodes were evicted in
-		// stage 4, so they are exactly this step's eviction count).
-		compromised := 0
-		for _, n := range nodes {
-			switch {
-			case n.lastAction == nodemodel.Recover:
-				costSum++ // eq. (5): a recovery costs 1
-			case n.state == nodemodel.Compromised:
-				costSum += s.Params.Eta // eq. (5): waiting while compromised
-			}
-			if n.state == nodemodel.Compromised {
-				compromised++
-			}
-		}
-		if compromised+evictedNow <= s.F {
-			availableSteps++
-			if len(nodes) >= 2*s.F+1+s.K {
-				quorumSteps++
-			}
-		}
-		nodeSteps += len(nodes)
-		totalNodes += float64(len(nodes))
-
-		// 6. Environment transition: intrusions, crashes, updates.
-		for _, n := range nodes {
-			switch n.state {
-			case nodemodel.Healthy:
-				if dist.SampleBernoulli(rng, s.Params.PC1) {
-					n.state = nodemodel.Crashed
-					continue
+			if n.intrusion == nil && dist.SampleBernoulli(rng, s.Params.PA) {
+				intr, err := attacker.Start(n.container.ID)
+				if err == nil {
+					n.intrusion = intr
 				}
-				if n.intrusion == nil && dist.SampleBernoulli(rng, s.Params.PA) {
-					intr, err := attacker.Start(n.container.ID)
-					if err == nil {
-						n.intrusion = intr
-					}
+			}
+			if n.intrusion != nil {
+				n.pendingBoost += n.intrusion.Advance(rng)
+				if n.intrusion.Done() {
+					n.state = nodemodel.Compromised
+					n.behaviour = n.intrusion.Behaviour
+					n.compromisedAt = t
+					r.m.Intrusions++
 				}
-				if n.intrusion != nil {
-					n.pendingBoost += n.intrusion.Advance(rng)
-					if n.intrusion.Done() {
-						n.state = nodemodel.Compromised
-						n.behaviour = n.intrusion.Behaviour
-						n.compromisedAt = t
-						m.Intrusions++
-					}
-				}
-			case nodemodel.Compromised:
-				if dist.SampleBernoulli(rng, s.Params.PC2) {
-					n.state = nodemodel.Crashed
-					if n.compromisedAt >= 0 {
-						recoveryTimes = append(recoveryTimes, recovery.NoRecoveryPenalty)
-						n.compromisedAt = -1
-					}
-					continue
-				}
-				if dist.SampleBernoulli(rng, s.Params.PU) {
-					// Software update silently cleans the node (eq. 2g);
-					// not a controller recovery, so T(R) is not recorded.
-					n.state = nodemodel.Healthy
-					n.intrusion = nil
+			}
+		case nodemodel.Compromised:
+			if dist.SampleBernoulli(rng, s.Params.PC2) {
+				n.state = nodemodel.Crashed
+				if n.compromisedAt >= 0 {
+					r.recoveryTimes = append(r.recoveryTimes, recovery.NoRecoveryPenalty)
 					n.compromisedAt = -1
 				}
+				continue
+			}
+			if dist.SampleBernoulli(rng, s.Params.PU) {
+				// Software update silently cleans the node (eq. 2g);
+				// not a controller recovery, so T(R) is not recorded.
+				n.state = nodemodel.Healthy
+				n.intrusion = nil
+				n.compromisedAt = -1
 			}
 		}
 	}
+}
 
+// finish applies end-of-run penalties and assembles the metrics.
+func (r *runner) finish() *Metrics {
+	s := &r.s
+	m := &r.m
 	// Unrecovered intrusions at the end of the run take the penalty.
-	for _, n := range nodes {
+	for _, n := range r.nodes {
 		if n.compromisedAt >= 0 {
-			recoveryTimes = append(recoveryTimes, recovery.NoRecoveryPenalty)
+			r.recoveryTimes = append(r.recoveryTimes, recovery.NoRecoveryPenalty)
 		}
 	}
 
-	m.Availability = float64(availableSteps) / float64(s.Steps)
-	m.QuorumAvailability = float64(quorumSteps) / float64(s.Steps)
-	if nodeSteps > 0 {
-		m.RecoveryFrequency = float64(m.Recoveries) / float64(nodeSteps)
-		m.AvgCost = costSum / float64(nodeSteps)
+	m.Availability = float64(r.availableSteps) / float64(s.Steps)
+	m.QuorumAvailability = float64(r.quorumSteps) / float64(s.Steps)
+	if r.nodeSteps > 0 {
+		m.RecoveryFrequency = float64(m.Recoveries) / float64(r.nodeSteps)
+		m.AvgCost = r.costSum / float64(r.nodeSteps)
 	}
-	if len(recoveryTimes) > 0 {
+	if len(r.recoveryTimes) > 0 {
 		sum := 0.0
-		for _, v := range recoveryTimes {
+		for _, v := range r.recoveryTimes {
 			sum += v
 		}
-		m.TimeToRecovery = sum / float64(len(recoveryTimes))
+		m.TimeToRecovery = sum / float64(len(r.recoveryTimes))
 	}
-	m.AvgNodes = totalNodes / float64(s.Steps)
-	return m, nil
+	m.AvgNodes = r.totalNodes / float64(s.Steps)
+	return m
 }
 
 // updateBeliefFitted is the Appendix A belief recursion using the
-// controller's estimated observation model Ẑ.
-func updateBeliefFitted(p nodemodel.Params, fit *ids.FittedZ, belief float64, action nodemodel.Action, obs int) float64 {
+// controller's estimated observation model Ẑ, supplied as dense likelihood
+// tables (zh[o] = Ẑ(o|H), zc[o] = Ẑ(o|C)) so the hot path is two slice
+// loads and a handful of multiplies.
+func updateBeliefFitted(p nodemodel.Params, zh, zc []float64, belief float64, action nodemodel.Action, obs int) float64 {
 	pred := p.PredictBelief(belief, action)
-	zc := fit.Compromised.Prob(obs)
-	zh := fit.Healthy.Prob(obs)
-	num := zc * pred
-	den := num + zh*(1-pred)
+	num := zc[obs] * pred
+	den := num + zh[obs]*(1-pred)
 	if den <= 0 {
 		return belief
 	}

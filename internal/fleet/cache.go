@@ -9,6 +9,7 @@ import (
 
 	"tolerance/internal/cmdp"
 	"tolerance/internal/dist"
+	"tolerance/internal/emulation"
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/recovery"
 )
@@ -26,6 +27,10 @@ type CacheStats struct {
 	ReplicationSolves int64 `json:"replicationSolves"`
 	// ReplicationHits counts replication requests answered from cache.
 	ReplicationHits int64 `json:"replicationHits"`
+	// FitSolves counts distinct offline Ẑ fits (emulation.NewFitSet runs).
+	FitSolves int64 `json:"fitSolves"`
+	// FitHits counts fit requests answered from cache.
+	FitHits int64 `json:"fitHits"`
 }
 
 // cacheEntry is a single-flight memoization slot: the first goroutine to
@@ -52,11 +57,14 @@ type StrategyCache struct {
 	recovery    map[string]*cacheEntry[*recovery.DPSolution]
 	replication map[string]*cacheEntry[*cmdp.Solution]
 	lp          map[string]*cacheEntry[*cmdp.Solution]
+	fits        map[string]*cacheEntry[*emulation.FitSet]
 
 	recoverySolves    atomic.Int64
 	recoveryHits      atomic.Int64
 	replicationSolves atomic.Int64
 	replicationHits   atomic.Int64
+	fitSolves         atomic.Int64
+	fitHits           atomic.Int64
 }
 
 // NewStrategyCache returns an empty cache.
@@ -65,6 +73,7 @@ func NewStrategyCache() *StrategyCache {
 		recovery:    make(map[string]*cacheEntry[*recovery.DPSolution]),
 		replication: make(map[string]*cacheEntry[*cmdp.Solution]),
 		lp:          make(map[string]*cacheEntry[*cmdp.Solution]),
+		fits:        make(map[string]*cacheEntry[*emulation.FitSet]),
 	}
 }
 
@@ -75,7 +84,37 @@ func (c *StrategyCache) Stats() CacheStats {
 		RecoveryHits:      c.recoveryHits.Load(),
 		ReplicationSolves: c.replicationSolves.Load(),
 		ReplicationHits:   c.replicationHits.Load(),
+		FitSolves:         c.fitSolves.Load(),
+		FitHits:           c.fitHits.Load(),
 	}
+}
+
+// Fits returns the offline-fitted observation models for the process
+// catalog at (samples, fitSeed), fitting at most once per distinct key.
+// The key includes the catalog's profile fingerprint, so a cache shared
+// across suites never conflates fits of different observation models.
+func (c *StrategyCache) Fits(samples int, fitSeed int64) (*emulation.FitSet, error) {
+	fp, err := emulation.CatalogFingerprint()
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|m=%d|fs=%d", fp, samples, fitSeed)
+
+	c.mu.Lock()
+	entry, ok := c.fits[key]
+	if !ok {
+		entry = &cacheEntry[*emulation.FitSet]{}
+		c.fits[key] = entry
+	}
+	c.mu.Unlock()
+
+	if ok {
+		c.fitHits.Add(1)
+	}
+	return entry.compute(func() (*emulation.FitSet, error) {
+		c.fitSolves.Add(1)
+		return emulation.NewFitSet(samples, fitSeed)
+	})
 }
 
 // Recovery returns the Problem 1 DP solution for the model and config,

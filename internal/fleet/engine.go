@@ -23,8 +23,16 @@ type Config struct {
 	Workers int
 	// Cache supplies a shared strategy cache; nil creates a fresh one.
 	// Sharing a cache across suite runs with overlapping grids avoids
-	// re-solving common control problems.
+	// re-solving common control problems and re-fitting observation
+	// models.
 	Cache *StrategyCache
+	// NoFitCache disables the shared offline Ẑ fit: every scenario
+	// refits its observation models inline. The fit seed is the same
+	// either way (one per suite, derived from the suite master seed), so
+	// output is byte-identical with or without the cache — this switch
+	// exists for diagnostics and for the equivalence test, not for
+	// production runs.
+	NoFitCache bool
 	// Progress, when set, is called after every folded scenario with the
 	// number folded so far and the number scheduled (from the aggregator
 	// goroutine).
@@ -181,7 +189,11 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	}()
 
 	// Workers: replay completed scenarios from their records; otherwise
-	// construct the cell's policy through the cache and run.
+	// construct the cell's policy and offline fit through the cache and
+	// run. Every scenario of the suite shares one fit seed derived from
+	// the master seed, so the Ẑ estimation happens once per suite instead
+	// of once per scenario (the paper's offline training phase).
+	fitSeed := emulation.FitStreamSeed(suite.Seed)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -200,7 +212,13 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 					if err == nil {
 						sc := j.cell.scenario(policy,
 							scenarioSeed(suite.Seed, j.index), suite.Steps, suite.FitSamples)
-						m, err = emulation.Run(sc)
+						sc.FitSeed = fitSeed
+						if !cfg.NoFitCache {
+							sc.Fits, err = cfg.Cache.Fits(suite.FitSamples, fitSeed)
+						}
+						if err == nil {
+							m, err = emulation.Run(sc)
+						}
 					}
 				}
 				select {

@@ -109,6 +109,41 @@ func TestStrategyCacheSolvesEachProblemOnce(t *testing.T) {
 	}
 }
 
+// TestFitCacheEquivalence is the fit-sharing contract: a run with the
+// suite-level fit cache and a run that refits Ẑ inside every scenario
+// produce byte-identical serialized results (both derive the same fit
+// stream from the suite seed), and the cached run fits exactly once.
+func TestFitCacheEquivalence(t *testing.T) {
+	suite := testSuite()
+	cache := NewStrategyCache()
+	cached, err := Run(context.Background(), suite, Config{Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := Run(context.Background(), suite, Config{Workers: 4, NoFitCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := json.Marshal(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := json.Marshal(uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bc) != string(bu) {
+		t.Errorf("fit-cached and fit-uncached results differ:\n%s\n%s", bc, bu)
+	}
+	stats := cache.Stats()
+	if stats.FitSolves != 1 {
+		t.Errorf("FitSolves = %d, want 1 (one fit per suite)", stats.FitSolves)
+	}
+	if want := int64(suite.NumScenarios()); stats.FitSolves+stats.FitHits != want {
+		t.Errorf("fit requests = %d, want %d", stats.FitSolves+stats.FitHits, want)
+	}
+}
+
 func TestRunResultShape(t *testing.T) {
 	suite := testSuite()
 	res, err := Run(context.Background(), suite, Config{Workers: 4})

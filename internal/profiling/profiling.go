@@ -1,0 +1,42 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flag pair
+// into the command-line tools, so hot-path regressions are diagnosable on
+// a production binary without recompiling.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuprofile is non-empty) and returns a
+// stop function that ends it and writes the heap profile (when memprofile
+// is non-empty). Run the stop function after the measured workload; with
+// both paths empty, Start and its stop function are no-ops.
+func Start(cpuprofile, memprofile string) (func() error, error) {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if memprofile != "" {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			return pprof.WriteHeapProfile(f)
+		}
+		return nil
+	}, nil
+}

@@ -117,83 +117,148 @@ type dpSolver struct {
 	cfg  DPConfig
 	grid []float64
 
-	// Cached posterior beliefs and observation probabilities: for each grid
-	// belief b, waiting leads to predictive pb and posterior b'(o) with
-	// probability po(o).
-	postWait [][]float64 // [gridIdx][obs] posterior
-	probWait [][]float64 // [gridIdx][obs] observation probability
-	// Posterior/probabilities from the post-recovery prior pA (used both
-	// for the recover action's continuation and the window start).
-	postReset []float64
-	probReset []float64
+	// Interpolation stencils: for each grid belief b, waiting leads to the
+	// predictive pb and, per observation o with probability po(o) > 0, to a
+	// posterior that linearly interpolates two neighbouring grid values,
+	// contributing po*(1-frac) to index idx and po*frac to idx+1. The
+	// (index, weight) pairs are precomputed into flat parallel arrays
+	// (structure-of-arrays), laid out column-major — observation-major,
+	// grid-minor — so the Bellman sweep accumulates each observation's
+	// contribution across the whole grid without a serial dependency chain
+	// and without per-entry struct copies. Zero-probability entries carry
+	// zero weights (exact-zero contributions) so every column stays dense.
+	// Folding po into the weights changes only last-ulp rounding of the
+	// value arrays; the extracted thresholds and strategies are unchanged
+	// (they are grid points selected by comparisons far from the rounding
+	// scale — SolveDP's pinned regression tests and the fleet determinism
+	// suite hold bit-for-bit).
+	stIdx        []int32 // len numObs*gridSize
+	stWlo, stWhi []float64
+	// Stencil from the post-recovery prior pA (used both for the recover
+	// action's continuation and the window start), pruned of
+	// zero-probability observations.
+	resetSt []stencilEntry
+
+	// Double buffers for the stationary value iteration and the shared
+	// expectation accumulator.
+	buf0, buf1, accBuf []float64
 }
 
-// prepare caches the belief transitions.
-func (d *dpSolver) prepare() {
-	p := d.p
-	numObs := p.NumObs()
-	d.postWait = make([][]float64, len(d.grid))
-	d.probWait = make([][]float64, len(d.grid))
-	for i, b := range d.grid {
-		pb := p.PredictBelief(b, nodemodel.Wait)
-		d.postWait[i] = make([]float64, numObs)
-		d.probWait[i] = make([]float64, numObs)
-		for o := 0; o < numObs; o++ {
-			zc := p.ZCompromised.Prob(o)
-			zh := p.ZHealthy.Prob(o)
-			po := pb*zc + (1-pb)*zh
-			d.probWait[i][o] = po
-			if po > 0 {
-				d.postWait[i][o] = pb * zc / po
-			}
-		}
-	}
-	d.postReset = make([]float64, numObs)
-	d.probReset = make([]float64, numObs)
-	pa := p.PA
-	for o := 0; o < numObs; o++ {
-		zc := p.ZCompromised.Prob(o)
-		zh := p.ZHealthy.Prob(o)
-		po := pa*zc + (1-pa)*zh
-		d.probReset[o] = po
-		if po > 0 {
-			d.postReset[o] = pa * zc / po
-		}
-	}
+// stencilEntry is one observation's contribution to a Bellman expectation:
+// probability po times the linear interpolation of the value function at
+// the posterior, between grid indices idx and idx+1 with weights omfrac
+// and frac (a clamped posterior at the grid top is encoded as idx = n-1,
+// frac = 1).
+type stencilEntry struct {
+	idx          int32
+	po           float64
+	frac, omfrac float64
 }
 
-// interpolate evaluates a grid function at belief b by linear interpolation.
-func (d *dpSolver) interpolate(w []float64, b float64) float64 {
+// stencilEntryFor builds the stencil entry for predictive belief pb and
+// observation o with likelihoods zh, zc (po is zero when the observation
+// cannot occur).
+func (d *dpSolver) stencilEntryFor(pb, zh, zc float64) stencilEntry {
 	n := len(d.grid) - 1
-	x := b * float64(n)
-	i := int(x)
-	if i >= n {
-		return w[n]
+	po := pb*zc + (1-pb)*zh
+	if po == 0 {
+		return stencilEntry{}
 	}
-	frac := x - float64(i)
-	return w[i]*(1-frac) + w[i+1]*frac
+	post := pb * zc / po
+	x := post * float64(n)
+	i := int(x)
+	var frac, omfrac float64
+	if i >= n {
+		i, frac, omfrac = n-1, 1, 0
+	} else {
+		frac = x - float64(i)
+		omfrac = 1 - frac
+	}
+	return stencilEntry{idx: int32(i), po: po, frac: frac, omfrac: omfrac}
 }
 
-// expectWait computes E_o[ W(b'(b,o)) ] for a grid belief index under Wait.
-func (d *dpSolver) expectWait(w []float64, gridIdx int) float64 {
-	e := 0.0
-	for o, po := range d.probWait[gridIdx] {
-		if po == 0 {
+// prepare caches the belief-transition stencils. All float storage comes
+// from one arena allocation, keeping a solve at a handful of allocations.
+func (d *dpSolver) prepare() {
+	numObs := d.p.NumObs()
+	zhs := d.p.ZHealthy.Probs()
+	zcs := d.p.ZCompromised.Probs()
+	g := len(d.grid)
+	arena := make([]float64, 2*numObs*g+4*g)
+	cut := func(size int) []float64 {
+		s := arena[:size:size]
+		arena = arena[size:]
+		return s
+	}
+	d.stWlo = cut(numObs * g)
+	d.stWhi = cut(numObs * g)
+	d.buf0 = cut(g)
+	d.buf1 = cut(g)
+	d.accBuf = cut(g)
+	preds := cut(g)
+	d.stIdx = make([]int32, numObs*g)
+	for i, b := range d.grid {
+		preds[i] = d.p.PredictBelief(b, nodemodel.Wait)
+	}
+	for o := 0; o < numObs; o++ {
+		base := o * g
+		zh, zc := zhs[o], zcs[o]
+		for i, pb := range preds {
+			st := d.stencilEntryFor(pb, zh, zc)
+			if st.po == 0 {
+				continue // zero weights: exact-zero contribution
+			}
+			d.stIdx[base+i] = st.idx
+			d.stWlo[base+i] = st.po * st.omfrac
+			d.stWhi[base+i] = st.po * st.frac
+		}
+	}
+	d.resetSt = make([]stencilEntry, 0, numObs)
+	for o := 0; o < numObs; o++ {
+		if st := d.stencilEntryFor(d.p.PA, zhs[o], zcs[o]); st.po != 0 {
+			d.resetSt = append(d.resetSt, st)
+		}
+	}
+}
+
+// expectWaitAll computes E_o[ W(b'(b,o)) ] under Wait for every grid
+// belief at once into acc — the dense-slice-product form of the Bellman
+// expectation. Each observation column is swept across the whole grid, so
+// consecutive iterations touch independent accumulator cells
+// (instruction-level parallelism instead of one serial add chain per grid
+// point); the first column assigns instead of accumulating, which fuses
+// the zeroing pass.
+func (d *dpSolver) expectWaitAll(w, acc []float64) {
+	g := len(d.grid)
+	acc = acc[:g]
+	numObs := len(d.stWlo) / g
+	for o := 0; o < numObs; o++ {
+		base := o * g
+		wlo := d.stWlo[base : base+g : base+g]
+		whi := d.stWhi[base : base+g : base+g]
+		idx := d.stIdx[base : base+g : base+g]
+		if len(whi) < len(wlo) || len(idx) < len(wlo) || len(acc) < len(wlo) {
+			panic("recovery: stencil shape")
+		}
+		if o == 0 {
+			for i, lo := range wlo {
+				j := idx[i]
+				acc[i] = w[j]*lo + w[j+1]*whi[i]
+			}
 			continue
 		}
-		e += po * d.interpolate(w, d.postWait[gridIdx][o])
+		for i, lo := range wlo {
+			j := idx[i]
+			acc[i] += w[j]*lo + w[j+1]*whi[i]
+		}
 	}
-	return e
 }
 
 // expectReset computes E_o[ W(b'(o)) ] from the post-recovery prior pA.
 func (d *dpSolver) expectReset(w []float64) float64 {
 	e := 0.0
-	for o, po := range d.probReset {
-		if po == 0 {
-			continue
-		}
-		e += po * d.interpolate(w, d.postReset[o])
+	for _, st := range d.resetSt {
+		e += st.po * (w[st.idx]*st.omfrac + w[st.idx+1]*st.frac)
 	}
 	return e
 }
@@ -205,22 +270,30 @@ func (d *dpSolver) expectReset(w []float64) float64 {
 func (d *dpSolver) solveWindow() (*DPSolution, error) {
 	p := d.p
 	deltaR := d.cfg.DeltaR
+	g := len(d.grid)
+	// One backing array for all window stages: the per-stage values are
+	// solver output (DPSolution.Value), but allocating them in one block
+	// keeps the backward induction off the allocator.
+	backing := make([]float64, deltaR*g)
 	stages := make([][]float64, deltaR)
-	forced := make([]float64, len(d.grid))
+	for k := range stages {
+		stages[k] = backing[k*g : (k+1)*g : (k+1)*g]
+	}
+	forced := stages[deltaR-1]
 	for i := range forced {
 		forced[i] = 1 // forced recovery cost; window ends here
 	}
-	stages[deltaR-1] = forced
 	thresholds := make([]float64, deltaR-1)
 
 	for k := deltaR - 1; k >= 1; k-- {
 		next := stages[k] // V(., k+1)
 		recoverVal := 1 + d.expectReset(next)
-		cur := make([]float64, len(d.grid))
+		d.expectWaitAll(next, d.accBuf)
+		cur := stages[k-1]
 		threshold := 1.0
 		set := false
 		for i, b := range d.grid {
-			waitVal := p.Eta*b + d.expectWait(next, i)
+			waitVal := p.Eta*b + d.accBuf[i]
 			if recoverVal <= waitVal {
 				cur[i] = recoverVal
 				if !set {
@@ -231,7 +304,6 @@ func (d *dpSolver) solveWindow() (*DPSolution, error) {
 				cur[i] = waitVal
 			}
 		}
-		stages[k-1] = cur
 		thresholds[k-1] = threshold
 	}
 
@@ -283,11 +355,11 @@ func (d *dpSolver) solveStationary() (*DPSolution, error) {
 	// Extract the stationary threshold.
 	threshold := 1.0
 	recoverVal := 1 - rho
+	d.expectWaitAll(w, d.accBuf)
 	for i, b := range d.grid {
-		waitVal := p.Eta*b - rho + d.expectWait(w, i)
+		waitVal := p.Eta*b - rho + d.accBuf[i]
 		if recoverVal <= waitVal {
 			threshold = b
-			_ = i
 			break
 		}
 	}
@@ -300,24 +372,30 @@ func (d *dpSolver) solveStationary() (*DPSolution, error) {
 }
 
 // stoppingValue iterates the optimal-stopping fixed point for a given rho.
+// The iteration ping-pongs between the solver's two value buffers instead
+// of allocating a fresh array per sweep; the returned slice is a copy, so
+// later calls cannot clobber it.
 func (d *dpSolver) stoppingValue(rho float64) ([]float64, error) {
 	p := d.p
 	recoverVal := 1 - rho
-	w := make([]float64, len(d.grid))
+	w, next := d.buf0, d.buf1
+	for i := range w {
+		w[i] = 0
+	}
 	for it := 0; it < d.cfg.MaxValueIterations; it++ {
 		diff := 0.0
-		next := make([]float64, len(d.grid))
+		d.expectWaitAll(w, d.accBuf)
 		for i, b := range d.grid {
-			waitVal := p.Eta*b - rho + d.expectWait(w, i)
+			waitVal := p.Eta*b - rho + d.accBuf[i]
 			v := math.Min(recoverVal, waitVal)
 			next[i] = v
 			if dd := math.Abs(v - w[i]); dd > diff {
 				diff = dd
 			}
 		}
-		w = next
+		w, next = next, w
 		if diff < 1e-10 {
-			return w, nil
+			return append([]float64(nil), w...), nil
 		}
 	}
 	return nil, fmt.Errorf("%w: rho = %v", ErrDPNotConverged, rho)

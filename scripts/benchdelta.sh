@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# benchdelta.sh OLD NEW — benchstat-style comparison of two `go test
+# -bench` text outputs: per-benchmark mean ns/op (across -count repeats),
+# old vs new, and the relative delta. Pure awk, no external tooling, so it
+# runs anywhere CI does.
+set -eu
+if [ $# -ne 2 ]; then
+    echo "usage: benchdelta.sh old.txt new.txt" >&2
+    exit 2
+fi
+awk '
+    FNR == 1 { file++ }
+    /^Benchmark/ {
+        v = ""
+        for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") v = $i
+        if (v == "") next
+        sum[file, $1] += v
+        cnt[file, $1]++
+        if (!($1 in seen)) { seen[$1] = ++order; names[order] = $1 }
+    }
+    END {
+        printf "%-48s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        for (k = 1; k <= order; k++) {
+            name = names[k]
+            o = cnt[1, name] ? sum[1, name] / cnt[1, name] : -1
+            n = cnt[2, name] ? sum[2, name] / cnt[2, name] : -1
+            if (o < 0) { printf "%-48s %14s %14.0f %9s\n", name, "-", n, "new"; continue }
+            if (n < 0) { printf "%-48s %14.0f %14s %9s\n", name, o, "-", "gone"; continue }
+            printf "%-48s %14.0f %14.0f %+8.1f%%\n", name, o, n, (n - o) / o * 100
+        }
+    }
+' "$1" "$2"
