@@ -103,7 +103,7 @@ func BenchmarkTable2Solvers(b *testing.B) {
 		po := po
 		b.Run(po.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := recovery.Algorithm1(params, recovery.Algorithm1Config{
+				_, err := recovery.Algorithm1(context.Background(), params, recovery.Algorithm1Config{
 					DeltaR:    recovery.InfiniteDeltaR,
 					Optimizer: po,
 					Budget:    120,
@@ -119,7 +119,7 @@ func BenchmarkTable2Solvers(b *testing.B) {
 	}
 	b.Run("ppo", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_, err := ppo.Train(params, ppo.Config{
+			_, err := ppo.Train(context.Background(), params, ppo.Config{
 				DeltaR:            recovery.InfiniteDeltaR,
 				Iterations:        5,
 				StepsPerIteration: 256,

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -201,7 +202,7 @@ func table2(full bool) error {
 		fmt.Printf("%-8s", po.Name())
 		for _, d := range deltas {
 			start := time.Now()
-			res, err := recovery.Algorithm1(params, recovery.Algorithm1Config{
+			res, err := recovery.Algorithm1(context.Background(), params, recovery.Algorithm1Config{
 				DeltaR: d, Optimizer: po, Budget: budget,
 				Episodes: episodes, Horizon: 150, Seed: 1,
 			})
@@ -262,18 +263,22 @@ func fig11(bool) error {
 }
 
 func fig13(bool) error {
-	rep, err := tolerance.SolveReplicationStrategy(13, 1, 0.9, 0.97)
+	ctx := context.Background()
+	repSol, err := tolerance.Solve(ctx, tolerance.ReplicationProblem{SMax: 13, F: 1, EpsilonA: 0.9, Q: 0.97})
 	if err != nil {
 		return err
 	}
 	fmt.Println("replication strategy pi(add|s):")
-	for s, p := range rep.AddProbability {
+	for s, p := range repSol.Replication.AddProbability {
 		fmt.Printf("  s=%2d: %.3f\n", s, p)
 	}
-	rec, err := tolerance.SolveRecoveryStrategy(tolerance.DefaultNodeModel(), tolerance.InfiniteDeltaR)
+	recSol, err := tolerance.Solve(ctx, tolerance.RecoveryProblem{
+		Model: tolerance.DefaultNodeModel(), DeltaR: tolerance.InfiniteDeltaR,
+	})
 	if err != nil {
 		return err
 	}
+	rec := recSol.Recovery
 	fmt.Printf("recovery threshold alpha* = %.3f (J* = %.4f)\n", rec.Thresholds[0], rec.ExpectedCost)
 	return nil
 }

@@ -4,9 +4,17 @@
 // deterministic per-scenario seeding, and streams per-cell T(A), T(R),
 // F(R), node-count and cost summaries.
 //
+// Policy kinds resolve through the strategy registry, so suites can grid
+// the exact DP strategy, the baselines, and the learned kinds
+// ("learned:cem", "learned:ppo", ...) side by side; -list-strategies shows
+// every registered kind. Ctrl-C cancels cleanly: with -checkpoint the
+// completed prefix survives and the run restarts with -resume.
+//
 // Single-machine runs:
 //
 //	tolerance-fleet -list
+//	tolerance-fleet -list-strategies
+//	tolerance-fleet -suite learned-smoke
 //	tolerance-fleet -suite paper-grid -workers 8
 //	tolerance-fleet -suite scada-sweep -format csv > scada.csv
 //	tolerance-fleet -dump-suite paper-grid > grid.json
@@ -31,14 +39,18 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"tolerance/internal/fleet"
 	"tolerance/internal/profiling"
+	"tolerance/internal/strategies"
 )
 
 func main() {
@@ -50,6 +62,7 @@ func main() {
 
 func run() (retErr error) {
 	suiteName := flag.String("suite", "paper-grid", "built-in suite to run (-list shows all)")
+	listStrategies := flag.Bool("list-strategies", false, "list registered strategies (valid policy kinds) and exit")
 	suiteFile := flag.String("suite-file", "", "JSON suite definition to run instead of a built-in (see -dump-suite)")
 	dumpSuite := flag.String("dump-suite", "", "print the named built-in suite as JSON (with overrides applied) and exit")
 	list := flag.Bool("list", false, "list built-in suites and exit")
@@ -82,8 +95,17 @@ func run() (retErr error) {
 	switch {
 	case *list:
 		for _, s := range fleet.Builtin() {
-			fmt.Printf("%-12s %4d scenarios, %3d cells  %s\n",
+			fmt.Printf("%-13s %4d scenarios, %3d cells  %s\n",
 				s.Name, s.NumScenarios(), s.NumCells(), s.Description)
+		}
+		return nil
+	case *listStrategies:
+		for _, name := range strategies.Names() {
+			s, ok := strategies.Lookup(name)
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-18s %s\n", name, s.Describe())
 		}
 		return nil
 	case *merge:
@@ -193,8 +215,22 @@ func run() (retErr error) {
 		cfg.OnRecord = writer.Append
 	}
 
-	res, err := fleet.Run(context.Background(), suite, cfg)
+	// Ctrl-C / SIGTERM cancels the context: the worker pool drains
+	// promptly and any -checkpoint file keeps the completed index-ordered
+	// prefix, so an interrupted run restarts with -resume. After the first
+	// signal the handler is released, so a second Ctrl-C force-kills.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
+
+	res, err := fleet.Run(ctx, suite, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "interrupted: %s keeps the completed prefix; rerun with -resume\n", *checkpoint)
+		}
 		return err
 	}
 	if writer != nil {
@@ -205,9 +241,9 @@ func run() (retErr error) {
 	}
 	if !*quiet {
 		stats := cache.Stats()
-		fmt.Fprintf(os.Stderr, "strategy cache: %d recovery + %d replication solves + %d fits, %d hits\n",
-			stats.RecoverySolves, stats.ReplicationSolves, stats.FitSolves,
-			stats.RecoveryHits+stats.ReplicationHits+stats.FitHits)
+		fmt.Fprintf(os.Stderr, "strategy cache: %d policies built (%d recovery + %d replication solves + %d fits), %d hits\n",
+			stats.PolicyBuilds, stats.RecoverySolves, stats.ReplicationSolves, stats.FitSolves,
+			stats.PolicyHits+stats.RecoveryHits+stats.ReplicationHits+stats.FitHits)
 	}
 	return writeResult(os.Stdout, res, *format)
 }

@@ -1,21 +1,26 @@
 // tolerance-sim runs one emulated testbed scenario (§VIII-A) and prints the
-// evaluation metrics.
+// evaluation metrics. The policy is any registered strategy kind, so the
+// exact strategies, the baselines and the learned kinds all run through the
+// same flag:
 //
-//	tolerance-sim -n1 6 -deltar 15 -steps 1000 -policy tolerance
-//	tolerance-sim -n1 3 -policy no-recovery -seeds 20
+//	tolerance-sim -n1 6 -deltar 15 -steps 1000 -policy TOLERANCE
+//	tolerance-sim -n1 3 -policy NO-RECOVERY -seeds 20
+//	tolerance-sim -n1 6 -policy learned:cem
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
-	"tolerance/internal/baselines"
-	"tolerance/internal/cmdp"
 	"tolerance/internal/emulation"
+	"tolerance/internal/fleet"
 	"tolerance/internal/nodemodel"
-	"tolerance/internal/recovery"
+	"tolerance/internal/strategies"
 )
 
 func main() {
@@ -25,61 +30,62 @@ func main() {
 	}
 }
 
+// legacyNames maps the pre-registry policy flag values to strategy names.
+var legacyNames = map[string]string{
+	"tolerance":         "TOLERANCE",
+	"no-recovery":       "NO-RECOVERY",
+	"periodic":          "PERIODIC",
+	"periodic-adaptive": "PERIODIC-ADAPTIVE",
+}
+
 func run() error {
 	n1 := flag.Int("n1", 6, "initial number of nodes")
 	deltaR := flag.Int("deltar", 15, "BTR bound (0 = infinity)")
 	steps := flag.Int("steps", 1000, "time steps per run")
 	seeds := flag.Int("seeds", 5, "number of evaluation seeds")
-	policyName := flag.String("policy", "tolerance",
-		"tolerance | no-recovery | periodic | periodic-adaptive")
+	policyName := flag.String("policy", "TOLERANCE",
+		"strategy kind (any registered strategy; see tolerance-fleet -list-strategies)")
 	pa := flag.Float64("pa", 0.1, "per-step compromise probability")
 	epsa := flag.Float64("epsa", 0.9, "availability bound for replication")
+	trainSeed := flag.Int64("train-seed", 1, "training seed for learned policies")
 	flag.Parse()
+
+	// First Ctrl-C cancels learned-policy training; releasing the handler
+	// lets a second Ctrl-C force-kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 
 	params := nodemodel.DefaultParams()
 	params.PA = *pa
 
-	f := (*n1 - 1) / 2
-	if f > 2 {
-		f = 2
-	}
-	if f < 1 {
-		f = 1
-	}
+	f := emulation.DefaultThreshold(*n1)
+	smax := 13
 
-	var policy baselines.Policy
-	switch *policyName {
-	case "tolerance":
-		dp, err := recovery.SolveDP(params, recovery.DPConfig{DeltaR: *deltaR})
-		if err != nil {
-			return err
-		}
-		rng := rand.New(rand.NewSource(17))
-		q, err := cmdp.EstimateHealthyProb(rng, params, dp.Strategy(*deltaR),
-			cmdp.DefaultEstimateEpisodes, cmdp.DefaultEstimateHorizon, *deltaR)
-		if err != nil {
-			return err
-		}
-		model, err := cmdp.NewBinomialModel(13, f, *epsa, q, 0)
-		if err != nil {
-			return err
-		}
-		sol, err := cmdp.Solve(model)
-		if err != nil {
-			return err
-		}
-		policy, err = baselines.NewTolerance(dp.Strategy(*deltaR), sol)
-		if err != nil {
-			return err
-		}
-	case "no-recovery":
-		policy = baselines.NoRecovery{}
-	case "periodic":
-		policy = baselines.Periodic{}
-	case "periodic-adaptive":
-		policy = baselines.PeriodicAdaptive{TargetN: *n1}
-	default:
-		return fmt.Errorf("unknown policy %q", *policyName)
+	name := *policyName
+	if canonical, ok := legacyNames[strings.ToLower(name)]; ok {
+		name = canonical
+	}
+	strat, ok := strategies.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown policy %q (known: %s)",
+			name, strings.Join(strategies.Names(), ", "))
+	}
+	policy, err := strat.Policy(ctx, strategies.Spec{
+		Params:   params,
+		N1:       *n1,
+		SMax:     smax,
+		F:        f,
+		K:        1,
+		DeltaR:   *deltaR,
+		EpsilonA: *epsa,
+		Seed:     *trainSeed,
+	}, fleet.NewStrategyCache())
+	if err != nil {
+		return err
 	}
 
 	seedList := make([]int64, *seeds)
@@ -88,6 +94,7 @@ func run() error {
 	}
 	agg, err := emulation.RunSeeds(emulation.Scenario{
 		N1:     *n1,
+		SMax:   smax,
 		F:      f,
 		DeltaR: *deltaR,
 		Steps:  *steps,

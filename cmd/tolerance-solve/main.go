@@ -1,15 +1,21 @@
 // tolerance-solve computes the two optimal control strategies of the paper
-// from command-line parameters.
+// from command-line parameters, through the unified Solve facade.
 //
 //	tolerance-solve -problem recovery -pa 0.1 -eta 2 -deltar 15
 //	tolerance-solve -problem recovery -method cem -budget 500
+//	tolerance-solve -problem recovery -method ppo -budget 20
 //	tolerance-solve -problem replication -smax 13 -f 2 -epsa 0.9 -q 0.95
+//
+// Ctrl-C cancels an in-flight solve.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tolerance"
 )
@@ -29,8 +35,8 @@ func run() error {
 	pu := flag.Float64("pu", 0.02, "software update probability pU")
 	eta := flag.Float64("eta", 2, "cost weight eta")
 	deltaR := flag.Int("deltar", 0, "BTR bound Delta_R (0 = infinity)")
-	method := flag.String("method", "dp", "dp | cem | de | bo | spsa (Alg 1 optimizers)")
-	budget := flag.Int("budget", 400, "objective evaluations for Alg 1")
+	method := flag.String("method", "dp", "dp | cem | de | bo | spsa | random | ppo")
+	budget := flag.Int("budget", 0, "training budget: Alg 1 evaluations (default 400) or PPO iterations (default 30); 0 = method default")
 	seed := flag.Int64("seed", 1, "random seed")
 	smax := flag.Int("smax", 13, "maximum system size (Problem 2)")
 	f := flag.Int("f", 2, "tolerance threshold (Problem 2)")
@@ -38,32 +44,43 @@ func run() error {
 	q := flag.Float64("q", 0.95, "per-step node health probability (Problem 2)")
 	flag.Parse()
 
+	// First Ctrl-C cancels the solve (honored between training stages and
+	// objective evaluations); releasing the handler lets a second Ctrl-C
+	// force-kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	switch *problem {
 	case "recovery":
 		model := tolerance.NodeModel{PA: *pa, PC1: *pc1, PC2: *pc2, PU: *pu, Eta: *eta}
-		var (
-			s   *tolerance.RecoveryStrategy
-			err error
-		)
-		if *method == "dp" {
-			s, err = tolerance.SolveRecoveryStrategy(model, *deltaR)
-		} else {
-			s, err = tolerance.LearnRecoveryStrategy(model, *deltaR, *method, *budget, *seed)
-		}
+		sol, err := tolerance.Solve(ctx, tolerance.RecoveryProblem{Model: model, DeltaR: *deltaR},
+			tolerance.WithMethod(*method), tolerance.WithBudget(*budget), tolerance.WithSeed(*seed))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("problem 1 (optimal intrusion recovery), method=%s\n", *method)
+		s := sol.Recovery
+		fmt.Printf("problem 1 (optimal intrusion recovery), method=%s\n", sol.Method)
 		fmt.Printf("expected cost J = %.4f\n", s.ExpectedCost)
+		if len(s.Thresholds) == 0 {
+			fmt.Printf("(non-threshold policy: decisions via ShouldRecover)\n")
+			return nil
+		}
 		fmt.Printf("thresholds (per BTR window position):\n")
 		for k, th := range s.Thresholds {
 			fmt.Printf("  alpha*_%d = %.4f\n", k+1, th)
 		}
 	case "replication":
-		s, err := tolerance.SolveReplicationStrategy(*smax, *f, *epsa, *q)
+		sol, err := tolerance.Solve(ctx, tolerance.ReplicationProblem{
+			SMax: *smax, F: *f, EpsilonA: *epsa, Q: *q,
+		})
 		if err != nil {
 			return err
 		}
+		s := sol.Replication
 		fmt.Printf("problem 2 (optimal replication factor)\n")
 		fmt.Printf("expected nodes J = %.3f, availability = %.4f\n", s.ExpectedNodes, s.Availability)
 		fmt.Printf("pi(add | s):\n")

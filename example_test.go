@@ -1,0 +1,133 @@
+package tolerance_test
+
+import (
+	"context"
+	"fmt"
+
+	"tolerance"
+)
+
+// ExampleSolve solves Problem 1 exactly and applies the strategy.
+func ExampleSolve() {
+	sol, err := tolerance.Solve(context.Background(), tolerance.RecoveryProblem{
+		Model:  tolerance.DefaultNodeModel(),
+		DeltaR: tolerance.InfiniteDeltaR,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rec := sol.Recovery
+	fmt.Printf("method=%s thresholds=%d\n", sol.Method, len(rec.Thresholds))
+	fmt.Printf("J* in (0,1): %v\n", rec.ExpectedCost > 0 && rec.ExpectedCost < 1)
+	fmt.Printf("recovers above the threshold: %v\n", rec.ShouldRecover(rec.Thresholds[0]+0.01, 1))
+	// Output:
+	// method=dp thresholds=1
+	// J* in (0,1): true
+	// recovers above the threshold: true
+}
+
+// ExampleSolve_replication solves Problem 2 with Algorithm 2's LP.
+func ExampleSolve_replication() {
+	sol, err := tolerance.Solve(context.Background(), tolerance.ReplicationProblem{
+		SMax: 13, F: 1, EpsilonA: 0.9, Q: 0.95,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep := sol.Replication
+	fmt.Printf("states=%d\n", len(rep.AddProbability))
+	fmt.Printf("meets the availability bound: %v\n", rep.Availability >= 0.9-1e-6)
+	// Output:
+	// states=14
+	// meets the availability bound: true
+}
+
+// ExampleRunSuite runs a built-in suite and streams its records.
+func ExampleRunSuite() {
+	streamed := 0
+	report, err := tolerance.RunSuite(context.Background(),
+		tolerance.SuiteByName("smoke"),
+		tolerance.WithWorkers(4),
+		tolerance.WithRecordHandler(func(rec tolerance.ScenarioRecord) error {
+			streamed++
+			return nil
+		}),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d scenarios over %d cells, %d records streamed\n",
+		report.Suite, report.Scenarios, len(report.Cells), streamed)
+	// Output:
+	// smoke: 4 scenarios over 2 cells, 4 records streamed
+}
+
+// ExampleStrategies shows that exact, baseline and learned strategies are
+// all registered policy kinds.
+func ExampleStrategies() {
+	registered := map[string]bool{}
+	for _, s := range tolerance.Strategies() {
+		registered[s.Name] = true
+	}
+	for _, name := range []string{"TOLERANCE", "NO-RECOVERY", "learned:cem", "learned:ppo"} {
+		fmt.Printf("%s: %v\n", name, registered[name])
+	}
+	// Output:
+	// TOLERANCE: true
+	// NO-RECOVERY: true
+	// learned:cem: true
+	// learned:ppo: true
+}
+
+// alwaysRecover is a trivial custom strategy: recover whenever the belief
+// is positive, never add nodes.
+type alwaysRecover struct{}
+
+func (alwaysRecover) Name() string     { return "example:always-recover" }
+func (alwaysRecover) Describe() string { return "recovers every step (cost upper bound)" }
+
+func (alwaysRecover) Fingerprint(tolerance.ScenarioSpec) string { return "static" }
+
+func (alwaysRecover) Policy(context.Context, tolerance.ScenarioSpec) (tolerance.Policy, error) {
+	return alwaysRecoverPolicy{}, nil
+}
+
+type alwaysRecoverPolicy struct{}
+
+func (alwaysRecoverPolicy) Name() string                       { return "example:always-recover" }
+func (alwaysRecoverPolicy) UsesBTR() bool                      { return true }
+func (alwaysRecoverPolicy) Recover(tolerance.NodeState) bool   { return true }
+func (alwaysRecoverPolicy) AddNode(tolerance.SystemState) bool { return false }
+
+// ExampleRegisterStrategy registers a custom strategy and runs it through a
+// JSON suite definition — custom names are policy kinds like any built-in.
+func ExampleRegisterStrategy() {
+	if err := tolerance.RegisterStrategy(alwaysRecover{}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	suite := []byte(`{
+		"version": 1,
+		"name": "custom-demo",
+		"seed": 1,
+		"seedsPerCell": 1,
+		"steps": 60,
+		"fitSamples": 200,
+		"attackRates": [0.1],
+		"n1s": [3],
+		"deltaRs": [15],
+		"policies": ["example:always-recover"]
+	}`)
+	report, err := tolerance.RunSuite(context.Background(), tolerance.SuiteFromJSON(suite))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d scenario(s), strategy %s\n",
+		report.Suite, report.Scenarios, report.Cells[0].Strategy)
+	// Output:
+	// custom-demo: 1 scenario(s), strategy example:always-recover
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,6 +40,16 @@ func run() error {
 		bar := strings.Repeat("#", int(p[1]/maxJ*40))
 		fmt.Printf("%10.3f %10.4f  %s\n", p[0], p[1], bar)
 	}
+	// Anchor: separation 1.0 is the unscaled Table 8 detector, so the last
+	// point closely tracks a direct Problem 1 solve of the default model
+	// (the sweep uses a coarser belief grid, hence the small gap).
+	base, err := tolerance.Solve(context.Background(), tolerance.RecoveryProblem{
+		Model: tolerance.DefaultNodeModel(), DeltaR: tolerance.InfiniteDeltaR,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("(direct solve of the default model: J* = %.4f)\n", base.Recovery.ExpectedCost)
 
 	fmt.Println("\nFig 14 (right): model mismatch DKL(Z_C || Ẑ_C) vs sample budget M")
 	profile, err := ids.NewBetaBinomialProfile("demo", 0.8, 5, 3, 1.2)

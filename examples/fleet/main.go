@@ -1,13 +1,15 @@
-// Fleet example: run the SCADA-flavored scenario sweep through the public
-// API and compare the four strategies of Table 7 across the crash-severity
-// grid. The fleet engine executes all scenarios on a worker pool with
-// deterministic seeding, so this program prints the same numbers on every
-// machine and at every parallelism level.
+// Fleet example: run the SCADA-flavored scenario sweep through the v2
+// streaming facade and compare the four strategies of Table 7 across the
+// crash-severity grid. RunSuite executes all scenarios on a worker pool
+// with deterministic seeding — this program prints the same numbers on
+// every machine and at every parallelism level — while a record handler
+// consumes the per-scenario stream as the run folds.
 //
 //	go run ./examples/fleet
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,17 +23,36 @@ func main() {
 }
 
 func run() error {
-	fmt.Println("built-in suites:", tolerance.FleetSuiteNames())
+	fmt.Println("built-in suites:", tolerance.SuiteNames())
+	fmt.Println("registered strategies:")
+	for _, s := range tolerance.Strategies() {
+		fmt.Printf("  %-18s %s\n", s.Name, s.Description)
+	}
+	fmt.Println()
 
-	report, err := tolerance.RunFleetSuite("scada-sweep", tolerance.FleetOptions{
-		Workers: 8,
-	})
+	// Stream per-scenario records while the run is in flight: here a tiny
+	// live tally of scenarios per strategy (a checkpoint writer or a
+	// dashboard feed would subscribe the same way).
+	streamed := map[string]int{}
+	report, err := tolerance.RunSuite(context.Background(),
+		tolerance.SuiteByName("scada-sweep"),
+		tolerance.WithWorkers(8),
+		tolerance.WithRecordHandler(func(rec tolerance.ScenarioRecord) error {
+			streamed[rec.Strategy]++
+			return nil
+		}),
+	)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("suite %s: %d scenarios, %d distinct control problems solved (%d cache hits)\n\n",
+	fmt.Printf("suite %s: %d scenarios, %d distinct control problems solved (%d cache hits)\n",
 		report.Suite, report.Scenarios,
 		report.RecoverySolves+report.ReplicationSolves, report.CacheHits)
+	fmt.Printf("streamed records per strategy: ")
+	for _, s := range []string{"TOLERANCE", "NO-RECOVERY", "PERIODIC", "PERIODIC-ADAPTIVE"} {
+		fmt.Printf("%s=%d ", s, streamed[s])
+	}
+	fmt.Printf("\n\n")
 
 	// Average each strategy's metrics over the whole grid: the fleet-level
 	// view of Table 7's ordering.

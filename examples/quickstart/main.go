@@ -1,10 +1,12 @@
-// Quickstart: solve both TOLERANCE control problems and evaluate the
-// resulting strategies against the baselines on the emulated testbed.
+// Quickstart: solve both TOLERANCE control problems through the unified
+// Solve facade and evaluate the resulting strategies against the baselines
+// on the emulated testbed.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,22 +20,32 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	model := tolerance.DefaultNodeModel()
 
-	// Problem 1: when should a node recover?
-	rec, err := tolerance.SolveRecoveryStrategy(model, tolerance.InfiniteDeltaR)
+	// Problem 1: when should a node recover? The default method is the
+	// exact DP solve; WithMethod("cem") would learn the thresholds with
+	// Algorithm 1 instead.
+	recSol, err := tolerance.Solve(ctx, tolerance.RecoveryProblem{
+		Model:  model,
+		DeltaR: tolerance.InfiniteDeltaR,
+	})
 	if err != nil {
 		return fmt.Errorf("solve recovery: %w", err)
 	}
-	fmt.Printf("Problem 1 (optimal intrusion recovery)\n")
+	rec := recSol.Recovery
+	fmt.Printf("Problem 1 (optimal intrusion recovery, method=%s)\n", recSol.Method)
 	fmt.Printf("  recovery threshold alpha* = %.3f\n", rec.Thresholds[0])
 	fmt.Printf("  optimal average cost  J*  = %.4f\n\n", rec.ExpectedCost)
 
 	// Problem 2: when should the system grow?
-	rep, err := tolerance.SolveReplicationStrategy(13, 1, 0.9, 0.97)
+	repSol, err := tolerance.Solve(ctx, tolerance.ReplicationProblem{
+		SMax: 13, F: 1, EpsilonA: 0.9, Q: 0.97,
+	})
 	if err != nil {
 		return fmt.Errorf("solve replication: %w", err)
 	}
+	rep := repSol.Replication
 	fmt.Printf("Problem 2 (optimal replication factor, smax=13, f=1, epsA=0.9)\n")
 	fmt.Printf("  expected nodes = %.2f, availability = %.3f\n", rep.ExpectedNodes, rep.Availability)
 	fmt.Printf("  pi(add | s):")

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,8 +15,10 @@ import (
 	"tolerance/internal/baselines"
 	"tolerance/internal/cmdp"
 	"tolerance/internal/emulation"
+	"tolerance/internal/fleet"
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/recovery"
+	"tolerance/internal/strategies"
 )
 
 func main() {
@@ -60,8 +63,23 @@ func run() error {
 		return err
 	}
 
+	// A learned competitor from the strategy registry: Algorithm 1 (CEM)
+	// trains thresholds for this exact crash-heavy model — the same
+	// constructor path a "learned:cem" policy kind takes in a fleet suite.
+	cemStrat, ok := strategies.Lookup("learned:cem")
+	if !ok {
+		return fmt.Errorf("learned:cem not registered")
+	}
+	learned, err := cemStrat.Policy(context.Background(), strategies.Spec{
+		Params: params, N1: 9, SMax: 13, F: 2, K: 1, DeltaR: 25,
+		EpsilonA: 0.95, Seed: 1, Budget: 60, Episodes: 10, Horizon: 100,
+	}, fleet.NewStrategyCache())
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("%-28s %8s %10s %10s %9s %9s\n", "strategy", "T(A)", "T(A,quorum)", "T(R)", "F(R)", "avg N")
-	for _, pol := range []baselines.Policy{adaptive, static, baselines.Periodic{}} {
+	for _, pol := range []baselines.Policy{adaptive, static, learned, baselines.Periodic{}} {
 		name := pol.Name()
 		if pol == static {
 			name = "TOLERANCE (static repl.)"

@@ -4,7 +4,8 @@
 //  1. export a suite definition to JSON (-dump-suite),
 //  2. run it as two disjoint shards, each writing a durable record file
 //     (-shard i/n -checkpoint),
-//  3. kill one shard mid-run and resume it from its checkpoint (-resume),
+//  3. kill one shard mid-run — by cancelling its context, exactly what
+//     Ctrl-C does — and resume it from its checkpoint (-resume),
 //  4. merge the shard files into the full-suite result (-merge),
 //
 // and then verify the headline property: the merged result is
@@ -16,6 +17,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -77,8 +79,9 @@ func run() error {
 			shard, len(shard.Indices(loaded.NumScenarios())), filepath.Base(paths[i]))
 	}
 
-	// 3. Simulate a crash on shard 0: rerun it but "kill" it after four
-	// scenarios (the record file keeps the completed prefix), then resume.
+	// 3. Simulate a crash on shard 0: rerun it but cancel its context after
+	// four scenarios (the record file keeps the completed prefix), then
+	// resume.
 	crashed := filepath.Join(dir, "crashed.jsonl")
 	if err := runShard(loaded, fleet.Shard{Index: 0, Count: 2}, crashed, 4); err != nil {
 		return err
@@ -138,16 +141,19 @@ func run() error {
 }
 
 // runShard executes one shard with a checkpoint file. When killAfter > 0
-// the run is aborted once that many scenarios have been recorded,
-// simulating a machine dying mid-grid: the checkpoint keeps the prefix.
+// the shard's context is cancelled once that many scenarios have been
+// recorded — the same signal Ctrl-C sends a real machine — and the worker
+// pool drains promptly, leaving the checkpoint with the completed
+// index-ordered prefix.
 func runShard(suite fleet.Suite, shard fleet.Shard, path string, killAfter int) error {
 	w, err := fleet.CreateCheckpoint(path, suite, shard)
 	if err != nil {
 		return err
 	}
-	errKilled := fmt.Errorf("simulated crash")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	n := 0
-	_, err = fleet.Run(context.Background(), suite, fleet.Config{
+	_, err = fleet.Run(ctx, suite, fleet.Config{
 		Shard: shard,
 		OnRecord: func(rec fleet.RunRecord) error {
 			if err := w.Append(rec); err != nil {
@@ -155,12 +161,12 @@ func runShard(suite fleet.Suite, shard fleet.Shard, path string, killAfter int) 
 			}
 			n++
 			if killAfter > 0 && n >= killAfter {
-				return errKilled
+				cancel() // simulated crash
 			}
 			return nil
 		},
 	})
-	if err != nil && (killAfter == 0 || n < killAfter) {
+	if err != nil && !(killAfter > 0 && errors.Is(err, context.Canceled)) {
 		w.Close()
 		return err
 	}

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"tolerance"
 	"tolerance/internal/cmdp"
 	"tolerance/internal/core"
 	"tolerance/internal/nodemodel"
@@ -41,12 +43,23 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The node controllers run the model-optimal recovery threshold
+	// instead of a hand-picked one.
+	recSol, err := tolerance.Solve(context.Background(), tolerance.RecoveryProblem{
+		Model: tolerance.NodeModel{
+			PA: params.PA, PC1: params.PC1, PC2: params.PC2, PU: params.PU, Eta: params.Eta,
+		},
+		DeltaR: tolerance.InfiniteDeltaR,
+	})
+	if err != nil {
+		return err
+	}
 	cluster, err := core.NewLiveCluster(core.LiveConfig{
 		N1:          5,
 		K:           1,
 		SMax:        7,
 		Params:      params,
-		Recovery:    &recovery.ThresholdStrategy{Thresholds: []float64{0.5}, DeltaR: recovery.InfiniteDeltaR},
+		Recovery:    &recovery.ThresholdStrategy{Thresholds: recSol.Recovery.Thresholds, DeltaR: recovery.InfiniteDeltaR},
 		Replication: sysCtrl,
 		Seed:        7,
 		Loss:        0.0005, // §VIII-A: 0.05% packet loss

@@ -1,17 +1,21 @@
 package fleet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 
+	"tolerance/internal/baselines"
 	"tolerance/internal/cmdp"
 	"tolerance/internal/dist"
 	"tolerance/internal/emulation"
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/recovery"
+	"tolerance/internal/strategies"
 )
 
 // CacheStats counts solves (cache misses that ran a solver) and hits
@@ -31,6 +35,11 @@ type CacheStats struct {
 	FitSolves int64 `json:"fitSolves"`
 	// FitHits counts fit requests answered from cache.
 	FitHits int64 `json:"fitHits"`
+	// PolicyBuilds counts distinct policy constructions through the
+	// strategy registry (for learned strategies, training runs).
+	PolicyBuilds int64 `json:"policyBuilds"`
+	// PolicyHits counts policy requests answered from cache.
+	PolicyHits int64 `json:"policyHits"`
 }
 
 // cacheEntry is a single-flight memoization slot: the first goroutine to
@@ -58,6 +67,7 @@ type StrategyCache struct {
 	replication map[string]*cacheEntry[*cmdp.Solution]
 	lp          map[string]*cacheEntry[*cmdp.Solution]
 	fits        map[string]*cacheEntry[*emulation.FitSet]
+	policies    map[string]*cacheEntry[baselines.Policy]
 
 	recoverySolves    atomic.Int64
 	recoveryHits      atomic.Int64
@@ -65,7 +75,12 @@ type StrategyCache struct {
 	replicationHits   atomic.Int64
 	fitSolves         atomic.Int64
 	fitHits           atomic.Int64
+	policyBuilds      atomic.Int64
+	policyHits        atomic.Int64
 }
+
+// StrategyCache implements the solver interface strategies build on.
+var _ strategies.Solvers = (*StrategyCache)(nil)
 
 // NewStrategyCache returns an empty cache.
 func NewStrategyCache() *StrategyCache {
@@ -74,6 +89,7 @@ func NewStrategyCache() *StrategyCache {
 		replication: make(map[string]*cacheEntry[*cmdp.Solution]),
 		lp:          make(map[string]*cacheEntry[*cmdp.Solution]),
 		fits:        make(map[string]*cacheEntry[*emulation.FitSet]),
+		policies:    make(map[string]*cacheEntry[baselines.Policy]),
 	}
 }
 
@@ -86,6 +102,8 @@ func (c *StrategyCache) Stats() CacheStats {
 		ReplicationHits:   c.replicationHits.Load(),
 		FitSolves:         c.fitSolves.Load(),
 		FitHits:           c.fitHits.Load(),
+		PolicyBuilds:      c.policyBuilds.Load(),
+		PolicyHits:        c.policyHits.Load(),
 	}
 }
 
@@ -142,16 +160,23 @@ func (c *StrategyCache) Recovery(p nodemodel.Params, cfg recovery.DPConfig) (*re
 }
 
 // Replication returns the Problem 2 solution for the node model under the
-// given recovery strategy and system shape. The healthy-node probability q
-// is estimated by simulating Problem 1 with an rng seeded from the cache
-// key, so the result is deterministic; the occupancy-measure LP is further
-// deduplicated across input keys by the assembled model's fingerprint.
+// given threshold recovery strategy and system shape.
 func (c *StrategyCache) Replication(p nodemodel.Params, rec *recovery.ThresholdStrategy, smax, f int, epsilonA float64, deltaR int) (*cmdp.Solution, error) {
 	// The recovery strategy shapes q, so its thresholds are part of the
 	// key: two callers with equal node params but different strategies
 	// (e.g. DP solutions at different grid sizes) must not share a slot.
+	return c.ReplicationFor(p, rec, strategyFingerprint(rec), smax, f, epsilonA, deltaR)
+}
+
+// ReplicationFor is the general form of Replication: it accepts any
+// recovery decision rule (learned thresholds, a PPO policy) with recFP as
+// its canonical fingerprint. The healthy-node probability q is estimated by
+// simulating Problem 1 with an rng seeded from the cache key, so the result
+// is deterministic; the occupancy-measure LP is further deduplicated across
+// input keys by the assembled model's fingerprint.
+func (c *StrategyCache) ReplicationFor(p nodemodel.Params, rec recovery.Strategy, recFP string, smax, f int, epsilonA float64, deltaR int) (*cmdp.Solution, error) {
 	key := fmt.Sprintf("%s|rec=%s|dr=%d|smax=%d|f=%d|eps=%x",
-		p.Fingerprint(), strategyFingerprint(rec), deltaR, smax, f, epsilonA)
+		p.Fingerprint(), recFP, deltaR, smax, f, epsilonA)
 
 	c.mu.Lock()
 	entry, ok := c.replication[key]
@@ -198,6 +223,53 @@ func (c *StrategyCache) solveLP(model *cmdp.Model) (*cmdp.Solution, error) {
 		c.replicationSolves.Add(1)
 		return cmdp.Solve(model)
 	})
+}
+
+// PolicyFor resolves the cell's policy kind through the strategy registry
+// and memoizes the built policy by its construction fingerprint, so a grid
+// cell's policy — including an expensive learned-strategy training run — is
+// built exactly once per cache no matter how many scenarios share it. ctx
+// cancels in-flight construction.
+func (c *StrategyCache) PolicyFor(ctx context.Context, cell Cell, suite Suite) (baselines.Policy, error) {
+	strat, ok := strategies.Lookup(string(cell.Policy))
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown policy %q (known: %v)",
+			ErrBadSuite, cell.Policy, strategies.Names())
+	}
+	spec := cell.spec(suite)
+	// The training seed derives from the suite seed and the seed-less
+	// fingerprint — never from the scenario index or scheduling — so a
+	// learned policy is identical across worker counts, shards and
+	// resumes, while distinct suites (or seeds) train distinct policies.
+	spec.Seed = seedFromKey(fmt.Sprintf("train|%d|%s|%s",
+		suite.Seed, cell.Policy, strat.Fingerprint(spec)))
+	key := string(cell.Policy) + "|" + strat.Fingerprint(spec)
+
+	c.mu.Lock()
+	entry, cached := c.policies[key]
+	if !cached {
+		entry = &cacheEntry[baselines.Policy]{}
+		c.policies[key] = entry
+	}
+	c.mu.Unlock()
+
+	if cached {
+		c.policyHits.Add(1)
+	}
+	pol, err := entry.compute(func() (baselines.Policy, error) {
+		c.policyBuilds.Add(1)
+		return strat.Policy(ctx, spec, c)
+	})
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// A cancelled construction must not poison a shared cache: evict
+		// the slot so a later run with a live context rebuilds the policy.
+		c.mu.Lock()
+		if c.policies[key] == entry {
+			delete(c.policies, key)
+		}
+		c.mu.Unlock()
+	}
+	return pol, err
 }
 
 // seedFromKey hashes a cache key into a deterministic rng seed.

@@ -8,14 +8,7 @@ import (
 
 	"tolerance/internal/baselines"
 	"tolerance/internal/emulation"
-	"tolerance/internal/recovery"
 )
-
-// dpConfigFor is the fleet's Problem 1 solver configuration (the GridSize
-// 300 of the Compare harness — accurate thresholds at grid-sweep speed).
-func dpConfigFor(deltaR int) recovery.DPConfig {
-	return recovery.DPConfig{DeltaR: deltaR, GridSize: 300}
-}
 
 // Config tunes one fleet execution.
 type Config struct {
@@ -208,7 +201,7 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 					m, fresh = &stored, false
 				} else {
 					var policy baselines.Policy
-					policy, err = cfg.Cache.policyFor(*j.cell, suite.EpsilonA)
+					policy, err = cfg.Cache.PolicyFor(ctx, *j.cell, suite)
 					if err == nil {
 						sc := j.cell.scenario(policy,
 							scenarioSeed(suite.Seed, j.index), suite.Steps, suite.FitSamples)
@@ -286,30 +279,4 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	}
 
 	return resultFromAccs(suite, cells, accs, total), nil
-}
-
-// policyFor constructs the cell's control policy, routing the two control
-// problems through the cache for TOLERANCE cells.
-func (c *StrategyCache) policyFor(cell Cell, epsilonA float64) (baselines.Policy, error) {
-	switch cell.Policy {
-	case PolicyNoRecovery:
-		return baselines.NoRecovery{}, nil
-	case PolicyPeriodic:
-		return baselines.Periodic{}, nil
-	case PolicyPeriodicAdaptive:
-		return baselines.PeriodicAdaptive{TargetN: cell.N1}, nil
-	case PolicyTolerance:
-		dp, err := c.Recovery(cell.params(), dpConfigFor(cell.DeltaR))
-		if err != nil {
-			return nil, err
-		}
-		rec := dp.Strategy(cell.DeltaR)
-		rep, err := c.Replication(cell.params(), rec, cell.SMax, cell.F, epsilonA, cell.DeltaR)
-		if err != nil {
-			return nil, err
-		}
-		return baselines.NewTolerance(rec, rep)
-	default:
-		return nil, fmt.Errorf("%w: policy %q", ErrBadSuite, cell.Policy)
-	}
 }

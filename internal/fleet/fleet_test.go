@@ -3,6 +3,8 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"path/filepath"
 	"testing"
 
 	"tolerance/internal/emulation"
@@ -87,11 +89,15 @@ func TestStrategyCacheSolvesEachProblemOnce(t *testing.T) {
 	if stats.ReplicationSolves != 1 {
 		t.Errorf("ReplicationSolves = %d, want 1", stats.ReplicationSolves)
 	}
-	// 2 workloads x 2 N1s x 3 seeds = 12 TOLERANCE scenarios; all but the
-	// first request per problem must hit the cache.
+	// 2 workloads x 2 N1s x 3 seeds = 12 TOLERANCE scenarios; every
+	// scenario requests its policy, all but the first from the policy
+	// cache (which in turn solved each control problem exactly once).
 	wantRequests := int64(suite.NumScenarios())
-	if got := stats.RecoveryHits + stats.RecoverySolves; got != wantRequests {
-		t.Errorf("recovery requests = %d, want %d", got, wantRequests)
+	if got := stats.PolicyHits + stats.PolicyBuilds; got != wantRequests {
+		t.Errorf("policy requests = %d, want %d", got, wantRequests)
+	}
+	if stats.PolicyBuilds != 1 {
+		t.Errorf("PolicyBuilds = %d, want 1 (one distinct TOLERANCE fingerprint)", stats.PolicyBuilds)
 	}
 
 	// A second DeltaR is a second distinct control problem per solver.
@@ -106,6 +112,9 @@ func TestStrategyCacheSolvesEachProblemOnce(t *testing.T) {
 	}
 	if stats.ReplicationSolves != 2 {
 		t.Errorf("ReplicationSolves = %d, want 2", stats.ReplicationSolves)
+	}
+	if stats.PolicyBuilds != 2 {
+		t.Errorf("PolicyBuilds = %d, want 2 (two DeltaRs)", stats.PolicyBuilds)
 	}
 }
 
@@ -322,5 +331,167 @@ func TestScenarioSeedDecorrelated(t *testing.T) {
 	}
 	if scenarioSeed(1, 5) != scenarioSeed(1, 5) {
 		t.Error("seed not deterministic")
+	}
+}
+
+// TestLearnedPolicyKind runs a learned:* policy kind end to end: the kind
+// validates in a suite definition, survives the JSON round trip, executes
+// under the engine with byte-identical output at any worker count, and the
+// training run is memoized (one build per cell fingerprint, not per seed).
+func TestLearnedPolicyKind(t *testing.T) {
+	suite := Suite{
+		Name:         "learned-test",
+		Seed:         5,
+		SeedsPerCell: 2,
+		Steps:        80,
+		FitSamples:   200,
+		AttackRates:  []float64{0.1},
+		N1s:          []int{3},
+		DeltaRs:      []int{15},
+		Policies:     []PolicyKind{"learned:cem", PolicyTolerance},
+		Learned:      &LearnedConfig{Budget: 20, Episodes: 4, Horizon: 50},
+	}
+	data, err := DumpSuite(suite)
+	if err != nil {
+		t.Fatalf("learned kind rejected by DumpSuite: %v", err)
+	}
+	parsed, err := ParseSuite(data)
+	if err != nil {
+		t.Fatalf("learned kind rejected by ParseSuite: %v", err)
+	}
+	if parsed.Learned == nil || parsed.Learned.Budget != 20 {
+		t.Fatalf("learned config lost in round trip: %+v", parsed.Learned)
+	}
+
+	cache := NewStrategyCache()
+	r1, err := Run(context.Background(), parsed, Config{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cache.Stats()
+	if stats.PolicyBuilds != 2 {
+		t.Errorf("PolicyBuilds = %d, want 2 (one per cell, shared across seeds)", stats.PolicyBuilds)
+	}
+	r8, err := Run(context.Background(), parsed, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(r1)
+	b8, _ := json.Marshal(r8)
+	if string(b1) != string(b8) {
+		t.Errorf("learned suite differs across worker counts:\n%s\n%s", b1, b8)
+	}
+	if got := string(r1.Cells[0].Cell.Policy); got != "learned:cem" {
+		t.Errorf("cell 0 policy = %q", got)
+	}
+}
+
+// TestUnknownPolicyKindRejected: names outside the registry fail suite
+// validation with ErrBadSuite before any scenario runs.
+func TestUnknownPolicyKindRejected(t *testing.T) {
+	suite := testSuite()
+	suite.Policies = []PolicyKind{"learned:nope"}
+	if err := suite.Validate(); !errors.Is(err, ErrBadSuite) {
+		t.Errorf("Validate = %v, want ErrBadSuite", err)
+	}
+	if _, err := Run(context.Background(), suite, Config{}); !errors.Is(err, ErrBadSuite) {
+		t.Errorf("Run = %v, want ErrBadSuite", err)
+	}
+}
+
+// TestRunCancellationLeavesValidCheckpoint is the cancellation contract:
+// cancelling the context mid-run returns promptly with the context error,
+// and a checkpoint written from the record stream holds a valid
+// index-ordered prefix that a resumed run completes byte-identically from.
+func TestRunCancellationLeavesValidCheckpoint(t *testing.T) {
+	suite := testSuite()
+	whole, err := Run(context.Background(), suite, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "cancelled.jsonl")
+	w, err := CreateCheckpoint(path, suite, Shard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	recorded := 0
+	_, err = Run(ctx, suite, Config{
+		Workers: 2,
+		OnRecord: func(rec RunRecord) error {
+			if err := w.Append(rec); err != nil {
+				return err
+			}
+			if recorded++; recorded == 3 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("cancelled checkpoint unreadable: %v", err)
+	}
+	if len(ck.Records) < 3 {
+		t.Fatalf("checkpoint holds %d records, want >= 3", len(ck.Records))
+	}
+	w2, err := AppendCheckpoint(path, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(context.Background(), suite, Config{
+		Completed: ck.Records,
+		OnRecord:  w2.Append,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bw, _ := json.Marshal(whole)
+	br, _ := json.Marshal(resumed)
+	if string(bw) != string(br) {
+		t.Errorf("resumed-after-cancel result differs from whole run")
+	}
+}
+
+// TestPolicyCacheNotPoisonedByCancellation: a construction aborted by a
+// cancelled context must not leave the context error memoized in a shared
+// strategy cache — the slot is evicted so a later run with a live context
+// rebuilds the policy.
+func TestPolicyCacheNotPoisonedByCancellation(t *testing.T) {
+	suite := Suite{
+		Name:        "poison-test",
+		Seed:        3,
+		AttackRates: []float64{0.1},
+		N1s:         []int{3},
+		DeltaRs:     []int{15},
+		Policies:    []PolicyKind{"learned:cem"},
+		Learned:     &LearnedConfig{Budget: 10, Episodes: 2, Horizon: 30},
+	}.withDefaults()
+	cell := suite.Cells()[0]
+	cache := NewStrategyCache()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cache.PolicyFor(cancelled, cell, suite); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled PolicyFor: err = %v, want context.Canceled", err)
+	}
+	pol, err := cache.PolicyFor(context.Background(), cell, suite)
+	if err != nil {
+		t.Fatalf("shared cache poisoned by cancellation: %v", err)
+	}
+	if pol.Name() != "learned:cem" {
+		t.Errorf("rebuilt policy named %q", pol.Name())
 	}
 }

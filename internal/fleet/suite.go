@@ -4,15 +4,24 @@
 // — into hundreds of concrete emulation scenarios and executes them on a
 // bounded worker pool.
 //
+// Policy kinds are open-ended: a cell's PolicyKind resolves through the
+// strategy registry (internal/strategies), so the exact DP strategies, the
+// Algorithm 1 learned kinds ("learned:cem" etc.), PPO, the §VIII-B
+// baselines, and facade-registered custom strategies all run under the same
+// engine and suite schema.
+//
 // Scale comes from three mechanisms:
 //
 //   - Deterministic seeding: every scenario's seed is a hash of the suite
 //     seed and the scenario index, so results are bit-identical regardless
-//     of worker count or scheduling.
+//     of worker count or scheduling; learned-strategy training seeds derive
+//     from the suite seed and the strategy fingerprint, never from
+//     scheduling.
 //   - A strategy cache (StrategyCache) that memoizes the solved recovery
-//     strategies (recovery.SolveDP) and replication LPs (cmdp occupancy
-//     measures) keyed by canonicalized model parameters, so a grid with
-//     hundreds of scenarios solves each distinct control problem once.
+//     strategies (recovery.SolveDP), replication LPs (cmdp occupancy
+//     measures) and built policies (including training runs) keyed by
+//     canonicalized construction inputs, so a grid with hundreds of
+//     scenarios solves each distinct control problem once.
 //   - Streaming aggregation: per-run metrics fold into per-cell Welford
 //     summaries (emulation.Accumulator) in scenario-index order, without
 //     retaining traces.
@@ -25,12 +34,18 @@ import (
 	"tolerance/internal/baselines"
 	"tolerance/internal/emulation"
 	"tolerance/internal/nodemodel"
+	"tolerance/internal/strategies"
 )
 
 // ErrBadSuite is returned for invalid suite definitions.
 var ErrBadSuite = errors.New("fleet: bad suite")
 
-// PolicyKind selects one of the §VIII-B control strategies for a grid cell.
+// PolicyKind names a registered control strategy for a grid cell. Any name
+// in the strategy registry (internal/strategies) is a valid kind: the four
+// §VIII-B strategies of Table 7, the Algorithm 1 learned kinds
+// ("learned:cem", "learned:de", "learned:bo", "learned:spsa",
+// "learned:random"), "learned:ppo", and any strategy registered through the
+// public facade.
 type PolicyKind string
 
 // The four strategies of Table 7.
@@ -41,13 +56,35 @@ const (
 	PolicyPeriodicAdaptive PolicyKind = "PERIODIC-ADAPTIVE"
 )
 
-// Valid reports whether the kind is known.
+// Valid reports whether the kind is a registered strategy.
 func (k PolicyKind) Valid() bool {
-	switch k {
-	case PolicyTolerance, PolicyNoRecovery, PolicyPeriodic, PolicyPeriodicAdaptive:
-		return true
+	_, ok := strategies.Lookup(string(k))
+	return ok
+}
+
+// PolicyKinds lists every registered strategy name in sorted order — the
+// valid values for Suite.Policies and suite-file "policies" entries.
+func PolicyKinds() []PolicyKind {
+	names := strategies.Names()
+	kinds := make([]PolicyKind, len(names))
+	for i, n := range names {
+		kinds[i] = PolicyKind(n)
 	}
-	return false
+	return kinds
+}
+
+// LearnedConfig tunes the training budget of the learned:* policy kinds in
+// a suite (zero fields select the strategy defaults). It is part of the
+// suite schema so learned grids are reproducible from the JSON alone.
+type LearnedConfig struct {
+	// Budget is the Algorithm 1 objective-evaluation budget.
+	Budget int `json:"budget,omitempty"`
+	// Episodes is M, the Monte-Carlo episodes per objective evaluation.
+	Episodes int `json:"episodes,omitempty"`
+	// Horizon is the simulated episode length.
+	Horizon int `json:"horizon,omitempty"`
+	// Iterations is the PPO rollout/update cycle count.
+	Iterations int `json:"iterations,omitempty"`
 }
 
 // CrashProfile pairs the two crash probabilities of eq. (2): pC1 in the
@@ -102,7 +139,12 @@ type Suite struct {
 	// recovery.InfiniteDeltaR for the unconstrained problem).
 	DeltaRs []int `json:"deltaRs,omitempty"`
 	// Policies grids the control strategy (default: all four of Table 7).
+	// Any registered strategy name is valid, including the learned kinds.
 	Policies []PolicyKind `json:"policies,omitempty"`
+
+	// Learned tunes the training budget for learned:* policy kinds; nil
+	// keeps the strategy defaults.
+	Learned *LearnedConfig `json:"learned,omitempty"`
 }
 
 // withDefaults fills every empty axis and scalar.
@@ -189,7 +231,13 @@ func (s Suite) Validate() error {
 	}
 	for _, p := range s.Policies {
 		if !p.Valid() {
-			return fmt.Errorf("%w: unknown policy %q", ErrBadSuite, p)
+			return fmt.Errorf("%w: unknown policy %q (known: %v)",
+				ErrBadSuite, p, strategies.Names())
+		}
+	}
+	if lc := s.Learned; lc != nil {
+		if lc.Budget < 0 || lc.Episodes < 0 || lc.Horizon < 0 || lc.Iterations < 0 {
+			return fmt.Errorf("%w: negative learned config %+v", ErrBadSuite, *lc)
 		}
 	}
 	if s.EpsilonA >= 1 {
@@ -285,6 +333,26 @@ func (c Cell) params() nodemodel.Params {
 	return p
 }
 
+// spec assembles the strategy-construction spec for the cell under the
+// (defaulted) suite: the cell's model and shape plus the suite's
+// availability bound and learned-training budget.
+func (c Cell) spec(s Suite) strategies.Spec {
+	sp := strategies.Spec{
+		Params:   c.params(),
+		N1:       c.N1,
+		SMax:     c.SMax,
+		F:        c.F,
+		K:        c.K,
+		DeltaR:   c.DeltaR,
+		EpsilonA: s.EpsilonA,
+	}
+	if lc := s.Learned; lc != nil {
+		sp.Budget, sp.Episodes, sp.Horizon, sp.Iterations =
+			lc.Budget, lc.Episodes, lc.Horizon, lc.Iterations
+	}
+	return sp
+}
+
 // scenario builds the emulation scenario for one seed of the cell.
 func (c Cell) scenario(policy baselines.Policy, seed int64, steps, fitSamples int) emulation.Scenario {
 	return emulation.Scenario{
@@ -310,6 +378,8 @@ func (c Cell) scenario(policy baselines.Policy, seed int64, steps, fitSamples in
 //     power-grid substations) swept over crash severity, workload and
 //     system size (192 scenarios).
 //   - smoke: a four-scenario suite for CI and quick checks.
+//   - learned-smoke: Algorithm 1 (CEM) vs the exact DP strategy on a tiny
+//     grid — the learned policy kinds exercised end to end.
 func Builtin() []Suite {
 	return []Suite{
 		{
@@ -361,6 +431,19 @@ func Builtin() []Suite {
 			N1s:          []int{3},
 			DeltaRs:      []int{15},
 			Policies:     []PolicyKind{PolicyTolerance, PolicyPeriodic},
+		},
+		{
+			Name:         "learned-smoke",
+			Description:  "learned:cem vs the exact DP strategy on a tiny grid",
+			Seed:         1,
+			SeedsPerCell: 2,
+			Steps:        120,
+			FitSamples:   500,
+			AttackRates:  []float64{0.1},
+			N1s:          []int{3},
+			DeltaRs:      []int{15},
+			Policies:     []PolicyKind{PolicyTolerance, PolicyKind("learned:cem")},
+			Learned:      &LearnedConfig{Budget: 40, Episodes: 8, Horizon: 80},
 		},
 	}
 }

@@ -119,6 +119,25 @@ func validateArgs(dim, budget int, obj Objective) error {
 	return nil
 }
 
+// ByName resolves an optimizer by its method name — the single mapping
+// shared by the solve facade and the learned strategy registrations, so a
+// new optimizer becomes available everywhere by extending this table.
+func ByName(name string) (Optimizer, bool) {
+	switch name {
+	case "cem":
+		return CEM{}, true
+	case "de":
+		return DE{}, true
+	case "bo":
+		return BO{}, true
+	case "spsa":
+		return SPSA{}, true
+	case "random":
+		return RandomSearch{}, true
+	}
+	return nil, false
+}
+
 // RandomSearch is a uniform-sampling baseline optimizer. It is not part of
 // the paper's Table 2 but serves as a sanity floor in tests and ablations.
 type RandomSearch struct{}

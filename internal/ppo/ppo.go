@@ -6,6 +6,7 @@
 package ppo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -134,9 +135,14 @@ type Result struct {
 }
 
 // Train runs PPO on the node-recovery environment and returns the policy.
-func Train(params nodemodel.Params, cfg Config) (*Result, error) {
+// Cancelling ctx aborts training between rollout/update cycles and returns
+// the context's error.
+func Train(ctx context.Context, params nodemodel.Params, cfg Config) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if cfg.DeltaR < 0 {
 		return nil, fmt.Errorf("%w: deltaR = %d", ErrBadConfig, cfg.DeltaR)
@@ -167,6 +173,9 @@ func Train(params nodemodel.Params, cfg Config) (*Result, error) {
 	best := math.Inf(1)
 	evals := 0
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		batch := collectRollout(rng, params, policy, cfg)
 		if err := update(policyNet, valueNet, policyOpt, valueOpt, batch, cfg); err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package ppo
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -10,19 +11,19 @@ import (
 
 func TestTrainValidation(t *testing.T) {
 	p := nodemodel.DefaultParams()
-	if _, err := Train(p, Config{DeltaR: -1}); err == nil {
+	if _, err := Train(context.Background(), p, Config{DeltaR: -1}); err == nil {
 		t.Error("negative deltaR should fail")
 	}
 	bad := p
 	bad.Eta = 0
-	if _, err := Train(bad, Config{}); err == nil {
+	if _, err := Train(context.Background(), bad, Config{}); err == nil {
 		t.Error("bad params should fail")
 	}
 }
 
 func TestTrainImprovesOverUntrained(t *testing.T) {
 	p := nodemodel.DefaultParams()
-	res, err := Train(p, Config{
+	res, err := Train(context.Background(), p, Config{
 		DeltaR:            recovery.InfiniteDeltaR,
 		Iterations:        15,
 		StepsPerIteration: 512,
@@ -57,7 +58,7 @@ func TestTrainImprovesOverUntrained(t *testing.T) {
 
 func TestPolicyActionConsistentWithProbabilities(t *testing.T) {
 	p := nodemodel.DefaultParams()
-	res, err := Train(p, Config{
+	res, err := Train(context.Background(), p, Config{
 		DeltaR:            recovery.InfiniteDeltaR,
 		Iterations:        2,
 		StepsPerIteration: 128,
@@ -82,7 +83,7 @@ func TestPolicyActionConsistentWithProbabilities(t *testing.T) {
 
 func TestPolicyFeaturesWindowFraction(t *testing.T) {
 	p := nodemodel.DefaultParams()
-	res, err := Train(p, Config{
+	res, err := Train(context.Background(), p, Config{
 		DeltaR:            10,
 		Iterations:        2,
 		StepsPerIteration: 128,

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -61,12 +62,17 @@ type Algorithm1Result struct {
 // space with ThresholdDim(deltaR) thresholds (exploiting Theorem 1), defines
 // the objective as the Monte-Carlo estimate of J_i (eq. 5) under the BTR
 // constraint, and delegates the search to the given parametric optimizer.
-func Algorithm1(p nodemodel.Params, cfg Algorithm1Config) (*Algorithm1Result, error) {
+// Cancelling ctx aborts the search within one objective evaluation and
+// returns the context's error.
+func Algorithm1(ctx context.Context, p nodemodel.Params, cfg Algorithm1Config) (*Algorithm1Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	dim := ThresholdDim(cfg.DeltaR)
 	simCfg := SimConfig{Episodes: cfg.Episodes, Horizon: cfg.Horizon, DeltaR: cfg.DeltaR}
@@ -75,6 +81,11 @@ func Algorithm1(p nodemodel.Params, cfg Algorithm1Config) (*Algorithm1Result, er
 	// variance of comparisons between candidate strategies.
 	evalSeed := cfg.Seed + 1
 	objective := func(theta []float64) float64 {
+		if ctx.Err() != nil {
+			// Cancelled: short-circuit the remaining budget so the search
+			// unwinds quickly; the result is discarded below.
+			return 1e9
+		}
 		s := &ThresholdStrategy{Thresholds: theta, DeltaR: cfg.DeltaR}
 		rng := rand.New(rand.NewSource(evalSeed))
 		m, err := Evaluate(rng, p, s, simCfg)
@@ -90,6 +101,9 @@ func Algorithm1(p nodemodel.Params, cfg Algorithm1Config) (*Algorithm1Result, er
 	res, err := cfg.Optimizer.Minimize(searchRng, dim, objective, cfg.Budget)
 	if err != nil {
 		return nil, fmt.Errorf("recovery: algorithm 1 (%s): %w", cfg.Optimizer.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	strategy, err := NewThresholdStrategy(res.Theta, cfg.DeltaR)
 	if err != nil {

@@ -140,8 +140,13 @@ type dpSolver struct {
 	resetSt []stencilEntry
 
 	// Double buffers for the stationary value iteration and the shared
-	// expectation accumulator.
+	// expectation accumulator. warm records that buf0 holds the converged
+	// stopping value of the previous rho, so the next bisection step's
+	// fixed-point iteration starts there instead of from zero — successive
+	// rhos differ by a halving interval, so their fixed points are close
+	// and the iteration converges in a fraction of the cold-start sweeps.
 	buf0, buf1, accBuf []float64
+	warm               bool
 }
 
 // stencilEntry is one observation's contribution to a Bellman expectation:
@@ -373,14 +378,20 @@ func (d *dpSolver) solveStationary() (*DPSolution, error) {
 
 // stoppingValue iterates the optimal-stopping fixed point for a given rho.
 // The iteration ping-pongs between the solver's two value buffers instead
-// of allocating a fresh array per sweep; the returned slice is a copy, so
-// later calls cannot clobber it.
+// of allocating a fresh array per sweep, and warm-starts from the previous
+// rho's fixed point when one is available (the fixed point for each rho is
+// unique and the iteration is a contraction, so the start point changes
+// only the sweep count, not the limit — within the 1e-10 stopping
+// tolerance). The returned slice is a copy, so later calls cannot clobber
+// it.
 func (d *dpSolver) stoppingValue(rho float64) ([]float64, error) {
 	p := d.p
 	recoverVal := 1 - rho
 	w, next := d.buf0, d.buf1
-	for i := range w {
-		w[i] = 0
+	if !d.warm {
+		for i := range w {
+			w[i] = 0
+		}
 	}
 	for it := 0; it < d.cfg.MaxValueIterations; it++ {
 		diff := 0.0
@@ -395,6 +406,8 @@ func (d *dpSolver) stoppingValue(rho float64) ([]float64, error) {
 		}
 		w, next = next, w
 		if diff < 1e-10 {
+			// Leave the converged values in buf0 for the next rho.
+			d.buf0, d.buf1, d.warm = w, next, true
 			return append([]float64(nil), w...), nil
 		}
 	}

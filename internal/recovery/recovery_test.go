@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -293,7 +294,7 @@ func TestAlgorithm1FindsNearOptimalStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Algorithm1(p, Algorithm1Config{
+	res, err := Algorithm1(context.Background(), p, Algorithm1Config{
 		DeltaR:    InfiniteDeltaR,
 		Optimizer: opt.CEM{Population: 20},
 		Budget:    200,
@@ -317,13 +318,13 @@ func TestAlgorithm1FindsNearOptimalStrategy(t *testing.T) {
 
 func TestAlgorithm1Validation(t *testing.T) {
 	p := nodemodel.DefaultParams()
-	if _, err := Algorithm1(p, Algorithm1Config{}); err == nil {
+	if _, err := Algorithm1(context.Background(), p, Algorithm1Config{}); err == nil {
 		t.Error("missing optimizer should fail")
 	}
-	if _, err := Algorithm1(p, Algorithm1Config{Optimizer: opt.RandomSearch{}, Budget: 1, Episodes: 1, Horizon: 1}); err == nil {
+	if _, err := Algorithm1(context.Background(), p, Algorithm1Config{Optimizer: opt.RandomSearch{}, Budget: 1, Episodes: 1, Horizon: 1}); err == nil {
 		t.Error("budget 1 should fail")
 	}
-	if _, err := Algorithm1(p, Algorithm1Config{Optimizer: opt.RandomSearch{}, Budget: 10, Episodes: 0, Horizon: 1}); err == nil {
+	if _, err := Algorithm1(context.Background(), p, Algorithm1Config{Optimizer: opt.RandomSearch{}, Budget: 10, Episodes: 0, Horizon: 1}); err == nil {
 		t.Error("episodes 0 should fail")
 	}
 }
@@ -382,5 +383,46 @@ func TestThresholdMonotoneRecoveryFrequency(t *testing.T) {
 	}
 	if !(freqs[0] >= freqs[1] && freqs[1] >= freqs[2]) {
 		t.Errorf("recovery frequency not monotone in threshold: %v", freqs)
+	}
+}
+
+// TestSolveStationaryFixedPoint pins the warm-start contract: the
+// bisection's stopping-value iteration now starts each rho from the
+// previous rho's fixed point, which must not change what it converges to.
+// The returned stationary value has to satisfy the optimality equation
+// W(b) = min(1 - rho, eta*b - rho + E_o W(b')) at every grid belief, and
+// the cycle-start value E_o W(b_1(o)) has to be (approximately) zero — the
+// defining property of the optimal average cost.
+func TestSolveStationaryFixedPoint(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	cfg := DPConfig{DeltaR: InfiniteDeltaR}
+	sol, err := SolveDP(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := &dpSolver{p: p, cfg: cfg.withDefaults(), grid: sol.Grid}
+	solver.prepare()
+	w := sol.Value[0]
+	solver.expectWaitAll(w, solver.accBuf)
+	recoverVal := 1 - sol.AvgCost
+	for i, b := range sol.Grid {
+		v := math.Min(recoverVal, p.Eta*b-sol.AvgCost+solver.accBuf[i])
+		if math.Abs(v-w[i]) > 1e-8 {
+			t.Fatalf("Bellman residual %g at b = %v", v-w[i], b)
+		}
+	}
+	if reset := solver.expectReset(w); math.Abs(reset) > 1e-6 {
+		t.Errorf("cycle-start value = %g, want ~0 at the optimal rho", reset)
+	}
+
+	// Determinism: a second solve (its own warm-start sequence) is
+	// bit-identical.
+	sol2, err := SolveDP(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.AvgCost != sol.AvgCost || sol2.Thresholds[0] != sol.Thresholds[0] {
+		t.Errorf("repeat solve differs: rho %v vs %v, threshold %v vs %v",
+			sol2.AvgCost, sol.AvgCost, sol2.Thresholds[0], sol.Thresholds[0])
 	}
 }

@@ -3,31 +3,47 @@
 // Hammar & Stadler, "Intrusion Tolerance for Networked Systems through
 // Two-Level Feedback Control" (DSN 2024).
 //
-// The package exposes the two control problems and the evaluation harness:
+// # The v2 API
 //
-//   - SolveRecoveryStrategy / LearnRecoveryStrategy solve Problem 1
-//     (optimal intrusion recovery) exactly by dynamic programming or with
-//     Algorithm 1's parametric optimizers (CEM, DE, BO, SPSA).
-//   - SolveReplicationStrategy solves Problem 2 (optimal replication
-//     factor) with Algorithm 2's occupancy-measure linear program.
-//   - Compare runs the §VIII evaluation: TOLERANCE against the
-//     NO-RECOVERY, PERIODIC and PERIODIC-ADAPTIVE baselines on the
-//     emulated testbed, reporting T(A), T(R) and F(R).
-//   - MTTF and Reliability compute the Fig 6 failure-time analytics.
-//   - RunFleetSuite executes a built-in scenario fleet: a declarative grid
-//     over attack intensity, crash rates, workload shapes, system sizes,
-//     BTR bounds and strategies, expanded to hundreds of scenarios and run
-//     on a bounded worker pool. Seeding is deterministic (suite seed +
-//     scenario index), a strategy cache solves each distinct control
-//     problem once, and per-cell metrics stream through Welford
-//     accumulators — the same grid is byte-identical at any worker count.
-//     RunFleetSuiteFile runs user-authored JSON suite definitions
-//     (FleetSuiteJSON exports the built-ins as editable starting points).
-//     The cmd/tolerance-fleet CLI wraps the engine with suite selection,
-//     worker count and JSON/CSV output, and scales out: -shard i/n runs a
-//     deterministic slice of the grid, -merge folds shard result files
-//     into the exact aggregate a single machine would produce, and
-//     -checkpoint/-resume survive kills mid-grid.
+// The package is organized around three ideas:
+//
+//   - Strategy: every controller the paper evaluates — the exact Theorem 1
+//     thresholds, the Algorithm 1 learned policies (CEM, DE, BO, SPSA),
+//     PPO, Algorithm 2 replication, and the §VIII-B baselines — is a
+//     registered implementation of one Strategy interface. Strategies()
+//     lists the registry; RegisterStrategy adds custom strategies, whose
+//     names become valid policy kinds in every suite and grid.
+//   - Solve(ctx, Problem, ...Option): one context-aware entry point for
+//     both control problems. RecoveryProblem selects Problem 1 (exact DP
+//     by default, learned methods via WithMethod); ReplicationProblem
+//     selects Problem 2's occupancy-measure LP.
+//   - RunSuite(ctx, SuiteRef, ...Option): the scenario-fleet harness. A
+//     suite — built-in (SuiteByName), a JSON file (SuiteFromFile), or an
+//     in-memory document (SuiteFromJSON) — expands to a grid of emulation
+//     scenarios executed on a worker pool with deterministic seeding.
+//     Per-scenario records stream to WithRecordHandler consumers (or
+//     through the StreamSuite iterator) in index order while the run is in
+//     flight; cancelling ctx stops the pool promptly, leaving any
+//     checkpoint written from the stream valid for resumption.
+//
+// Evaluation helpers round out the facade: Compare reproduces the §VIII
+// Table 7 comparison, MTTF and Reliability the Fig 6 analytics, and
+// DetectorSensitivity the Fig 14 detector-quality sweep. All facade
+// validation failures wrap ErrBadInput.
+//
+// # Migrating from the v1 facade
+//
+// The original entry points remain as thin deprecated wrappers:
+//
+//	SolveRecoveryStrategy(m, dr)            -> Solve(ctx, RecoveryProblem{Model: m, DeltaR: dr})
+//	LearnRecoveryStrategy(m, dr, opt, b, s) -> Solve(ctx, RecoveryProblem{Model: m, DeltaR: dr},
+//	                                                 WithMethod(opt), WithBudget(b), WithSeed(s))
+//	SolveReplicationStrategy(smax, f, e, q) -> Solve(ctx, ReplicationProblem{SMax: smax, F: f,
+//	                                                 EpsilonA: e, Q: q})
+//	RunFleetSuite(name, opts)               -> RunSuite(ctx, SuiteByName(name), ...)
+//	RunFleetSuiteFile(path, opts)           -> RunSuite(ctx, SuiteFromFile(path), ...)
+//	FleetSuiteJSON(name)                    -> SuiteJSON(SuiteByName(name))
+//	FleetSuiteNames()                       -> SuiteNames()
 //
 // Lower-level building blocks (the MinBFT and Raft implementations, the
 // POMDP solvers, the emulation, the fleet engine) live under internal/ and
@@ -44,16 +60,15 @@ import (
 	"tolerance/internal/cmdp"
 	"tolerance/internal/dist"
 	"tolerance/internal/emulation"
-	"tolerance/internal/fleet"
 	"tolerance/internal/nodemodel"
-	"tolerance/internal/opt"
 	"tolerance/internal/recovery"
 )
 
 // InfiniteDeltaR disables the bounded-time-to-recovery constraint.
 const InfiniteDeltaR = recovery.InfiniteDeltaR
 
-// ErrBadInput is returned for invalid API inputs.
+// ErrBadInput is returned (wrapped) for every invalid API input; test with
+// errors.Is.
 var ErrBadInput = errors.New("tolerance: bad input")
 
 // NodeModel holds the per-node model parameters of eq. (2)-(5).
@@ -82,138 +97,66 @@ func (m NodeModel) toParams() nodemodel.Params {
 	return p
 }
 
-// RecoveryStrategy is a threshold recovery strategy (Theorem 1): recover
-// when the compromise belief reaches the threshold of the current BTR
-// window position.
-type RecoveryStrategy struct {
-	// Thresholds are alpha*_k per window position (a single entry when
-	// DeltaR is infinite).
-	Thresholds []float64
-	// DeltaR is the BTR bound the strategy was computed for.
-	DeltaR int
-	// ExpectedCost is the estimated long-run average cost J (eq. 5).
-	ExpectedCost float64
-
-	inner *recovery.ThresholdStrategy
-}
-
-// ShouldRecover applies the strategy.
-func (s *RecoveryStrategy) ShouldRecover(belief float64, windowPos int) bool {
-	return s.inner.Action(belief, windowPos) == nodemodel.Recover
-}
-
 // SolveRecoveryStrategy solves Problem 1 exactly by dynamic programming
 // (the renewal decomposition of eq. 16) and returns the optimal thresholds.
+//
+// Deprecated: use Solve with a RecoveryProblem.
 func SolveRecoveryStrategy(m NodeModel, deltaR int) (*RecoveryStrategy, error) {
-	p := m.toParams()
-	sol, err := recovery.SolveDP(p, recovery.DPConfig{DeltaR: deltaR})
+	sol, err := Solve(context.Background(), RecoveryProblem{Model: m, DeltaR: deltaR})
 	if err != nil {
 		return nil, err
 	}
-	inner := sol.Strategy(deltaR)
-	return &RecoveryStrategy{
-		Thresholds:   append([]float64(nil), inner.Thresholds...),
-		DeltaR:       deltaR,
-		ExpectedCost: sol.AvgCost,
-		inner:        inner,
-	}, nil
+	return sol.Recovery, nil
 }
-
-// Optimizers available to LearnRecoveryStrategy (Table 2).
-const (
-	OptimizerCEM    = "cem"
-	OptimizerDE     = "de"
-	OptimizerBO     = "bo"
-	OptimizerSPSA   = "spsa"
-	OptimizerRandom = "random"
-)
 
 // LearnRecoveryStrategy runs Algorithm 1 with the named parametric
 // optimizer and Monte-Carlo budget.
+//
+// Deprecated: use Solve with a RecoveryProblem and WithMethod.
 func LearnRecoveryStrategy(m NodeModel, deltaR int, optimizer string, budget int, seed int64) (*RecoveryStrategy, error) {
-	var po opt.Optimizer
 	switch optimizer {
-	case OptimizerCEM:
-		po = opt.CEM{}
-	case OptimizerDE:
-		po = opt.DE{}
-	case OptimizerBO:
-		po = opt.BO{}
-	case OptimizerSPSA:
-		po = opt.SPSA{}
-	case OptimizerRandom:
-		po = opt.RandomSearch{}
+	case OptimizerCEM, OptimizerDE, OptimizerBO, OptimizerSPSA, OptimizerRandom:
 	default:
 		return nil, fmt.Errorf("%w: unknown optimizer %q", ErrBadInput, optimizer)
 	}
-	res, err := recovery.Algorithm1(m.toParams(), recovery.Algorithm1Config{
-		DeltaR:    deltaR,
-		Optimizer: po,
-		Budget:    budget,
-		Episodes:  50, // Table 8: M = 50
-		Horizon:   200,
-		Seed:      seed,
-	})
+	sol, err := Solve(context.Background(), RecoveryProblem{Model: m, DeltaR: deltaR},
+		WithMethod(optimizer), WithBudget(budget), WithSeed(seed))
 	if err != nil {
 		return nil, err
 	}
-	return &RecoveryStrategy{
-		Thresholds:   append([]float64(nil), res.Strategy.Thresholds...),
-		DeltaR:       deltaR,
-		ExpectedCost: res.Cost,
-		inner:        res.Strategy,
-	}, nil
-}
-
-// ReplicationStrategy is the Problem 2 solution: the probability of adding
-// a node per healthy-node-count state (Fig 13a).
-type ReplicationStrategy struct {
-	// AddProbability is pi*(a=1 | s) for s = 0..SMax.
-	AddProbability []float64
-	// ExpectedNodes is the stationary objective value J (eq. 9).
-	ExpectedNodes float64
-	// Availability is the achieved stationary availability (eq. 10b).
-	Availability float64
-
-	inner *cmdp.Solution
-}
-
-// ShouldAdd samples the randomized strategy for state s.
-func (r *ReplicationStrategy) ShouldAdd(rng *rand.Rand, s int) bool {
-	return r.inner.Sample(rng, s) == 1
+	return sol.Recovery, nil
 }
 
 // SolveReplicationStrategy solves Problem 2 with Algorithm 2. smax bounds
 // the system size, f is the tolerance threshold, epsilonA the availability
 // lower bound (eq. 10b), and q the per-step probability that a healthy node
-// remains healthy (estimate it with cmdp.EstimateHealthyProb or from domain
-// knowledge; §V-A cites Google/Meta/IBM procedures).
+// remains healthy.
+//
+// Deprecated: use Solve with a ReplicationProblem.
 func SolveReplicationStrategy(smax, f int, epsilonA, q float64) (*ReplicationStrategy, error) {
-	model, err := cmdp.NewBinomialModel(smax, f, epsilonA, q, 0)
+	sol, err := Solve(context.Background(), ReplicationProblem{SMax: smax, F: f, EpsilonA: epsilonA, Q: q})
 	if err != nil {
 		return nil, err
 	}
-	sol, err := cmdp.Solve(model)
-	if err != nil {
-		return nil, err
-	}
-	return &ReplicationStrategy{
-		AddProbability: append([]float64(nil), sol.Policy...),
-		ExpectedNodes:  sol.AvgNodes,
-		Availability:   sol.Availability,
-		inner:          sol,
-	}, nil
+	return sol.Replication, nil
 }
 
 // MTTF returns the mean time to failure of a system with n1 initial nodes,
 // tolerance threshold f, recovery allowance k, and per-step node survival
 // probability q, with no recoveries (Fig 6a).
 func MTTF(n1, f, k int, q float64) (float64, error) {
+	if n1 < 1 || f < 0 || k < 0 || q <= 0 || q > 1 {
+		return 0, fmt.Errorf("%w: MTTF(n1=%d, f=%d, k=%d, q=%v)", ErrBadInput, n1, f, k, q)
+	}
 	return cmdp.MTTF(n1, f, k, q)
 }
 
 // Reliability returns R(t) for t = 0..horizon (Fig 6b).
 func Reliability(n1, f, k, horizon int, q float64) ([]float64, error) {
+	if n1 < 1 || f < 0 || k < 0 || horizon < 0 || q <= 0 || q > 1 {
+		return nil, fmt.Errorf("%w: Reliability(n1=%d, f=%d, k=%d, horizon=%d, q=%v)",
+			ErrBadInput, n1, f, k, horizon, q)
+	}
 	return cmdp.Reliability(n1, f, k, horizon, q)
 }
 
@@ -252,6 +195,9 @@ func Compare(cfg CompareConfig) ([]StrategyMetrics, error) {
 	if cfg.N1 < 1 {
 		return nil, fmt.Errorf("%w: N1 = %d", ErrBadInput, cfg.N1)
 	}
+	if cfg.DeltaR < 0 {
+		return nil, fmt.Errorf("%w: DeltaR = %d", ErrBadInput, cfg.DeltaR)
+	}
 	if cfg.Steps == 0 {
 		cfg.Steps = 1000
 	}
@@ -283,7 +229,7 @@ func Compare(cfg CompareConfig) ([]StrategyMetrics, error) {
 	smax := 13
 	repModel, err := cmdp.NewBinomialModel(smax, f, cfg.EpsilonA, q, 0)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
 	repSol, err := cmdp.Solve(repModel)
 	if err != nil {
@@ -329,8 +275,10 @@ func Compare(cfg CompareConfig) ([]StrategyMetrics, error) {
 	return out, nil
 }
 
-// FleetOptions tunes a fleet-suite execution. The zero value keeps every
-// suite default.
+// FleetOptions tunes a fleet-suite execution through the deprecated v1
+// wrappers. The zero value keeps every suite default.
+//
+// Deprecated: use RunSuite with Option values.
 type FleetOptions struct {
 	// Workers bounds the worker pool (default min(GOMAXPROCS, 8)).
 	Workers int
@@ -346,145 +294,52 @@ type FleetOptions struct {
 	Progress func(done, total int)
 }
 
-// FleetCellMetrics is one grid cell of a fleet report: a concrete
-// model/workload/size/policy configuration with its evaluation metrics
-// (means with 95% confidence half-widths) streamed over the cell's seeds.
-type FleetCellMetrics struct {
-	Strategy              string
-	PA, PC1, PC2, PU, Eta float64
-	WorkloadLambda        float64
-	WorkloadService       float64
-	N1, SMax, DeltaR, F   int
-	Runs                  int
-
-	Availability, AvailabilityCI      float64
-	QuorumAvailability, QuorumCI      float64
-	TimeToRecovery, TimeToRecoveryCI  float64
-	RecoveryFrequency, RecoveryFreqCI float64
-	AvgNodes, AvgNodesCI              float64
-	AvgCost, AvgCostCI                float64
-}
-
-// FleetReport is the result of one fleet-suite execution.
-type FleetReport struct {
-	// Suite is the executed suite's name; Seed its master seed.
-	Suite string
-	Seed  int64
-	// Scenarios is the number of emulation runs executed.
-	Scenarios int
-	// Cells holds one aggregated entry per grid cell, in expansion order.
-	Cells []FleetCellMetrics
-	// RecoverySolves and ReplicationSolves count the distinct control
-	// problems actually solved; CacheHits counts requests the strategy
-	// cache answered without solving.
-	RecoverySolves    int
-	ReplicationSolves int
-	CacheHits         int
+// toOptions converts to v2 options.
+func (o FleetOptions) toOptions() []Option {
+	var opts []Option
+	if o.Workers != 0 {
+		opts = append(opts, WithWorkers(o.Workers))
+	}
+	if o.Seed != 0 {
+		opts = append(opts, WithSeed(o.Seed))
+	}
+	if o.Steps != 0 {
+		opts = append(opts, WithSteps(o.Steps))
+	}
+	if o.SeedsPerCell != 0 {
+		opts = append(opts, WithSeedsPerCell(o.SeedsPerCell))
+	}
+	if o.Progress != nil {
+		opts = append(opts, WithProgress(o.Progress))
+	}
+	return opts
 }
 
 // FleetSuiteNames lists the built-in scenario suites.
-func FleetSuiteNames() []string {
-	suites := fleet.Builtin()
-	names := make([]string, len(suites))
-	for i, s := range suites {
-		names[i] = s.Name
-	}
-	return names
-}
+//
+// Deprecated: use SuiteNames.
+func FleetSuiteNames() []string { return SuiteNames() }
 
 // RunFleetSuite executes a built-in scenario suite on a bounded worker
-// pool. Results are deterministic for a given (suite, seed) regardless of
-// worker count.
+// pool.
+//
+// Deprecated: use RunSuite with SuiteByName.
 func RunFleetSuite(name string, opts FleetOptions) (*FleetReport, error) {
-	suite, err := fleet.Lookup(name)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
-	}
-	return runFleet(suite, opts)
+	return RunSuite(context.Background(), SuiteByName(name), opts.toOptions()...)
 }
 
-// RunFleetSuiteFile executes a user-authored JSON suite definition (the
-// schema that `tolerance-fleet -dump-suite` exports), so new grids run
-// without recompiling.
+// RunFleetSuiteFile executes a user-authored JSON suite definition.
+//
+// Deprecated: use RunSuite with SuiteFromFile.
 func RunFleetSuiteFile(path string, opts FleetOptions) (*FleetReport, error) {
-	suite, err := fleet.LoadSuiteFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
-	}
-	return runFleet(suite, opts)
+	return RunSuite(context.Background(), SuiteFromFile(path), opts.toOptions()...)
 }
 
-// FleetSuiteJSON exports a built-in suite as a versioned JSON document
-// with every default made explicit — a complete, editable starting point
-// for user-authored grids.
+// FleetSuiteJSON exports a built-in suite as a versioned JSON document.
+//
+// Deprecated: use SuiteJSON with SuiteByName.
 func FleetSuiteJSON(name string) ([]byte, error) {
-	suite, err := fleet.Lookup(name)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
-	}
-	return fleet.DumpSuite(suite)
-}
-
-func runFleet(suite fleet.Suite, opts FleetOptions) (*FleetReport, error) {
-	if opts.Seed != 0 {
-		suite.Seed = opts.Seed
-	}
-	if opts.Steps != 0 {
-		suite.Steps = opts.Steps
-	}
-	if opts.SeedsPerCell != 0 {
-		suite.SeedsPerCell = opts.SeedsPerCell
-	}
-	cache := fleet.NewStrategyCache()
-	res, err := fleet.Run(context.Background(), suite, fleet.Config{
-		Workers:  opts.Workers,
-		Cache:    cache,
-		Progress: opts.Progress,
-	})
-	if err != nil {
-		return nil, err
-	}
-	stats := cache.Stats()
-	report := &FleetReport{
-		Suite:             res.Suite,
-		Seed:              res.Seed,
-		Scenarios:         res.Scenarios,
-		Cells:             make([]FleetCellMetrics, len(res.Cells)),
-		RecoverySolves:    int(stats.RecoverySolves),
-		ReplicationSolves: int(stats.ReplicationSolves),
-		CacheHits:         int(stats.RecoveryHits + stats.ReplicationHits),
-	}
-	for i, c := range res.Cells {
-		a := c.Aggregate
-		report.Cells[i] = FleetCellMetrics{
-			Strategy:           string(c.Cell.Policy),
-			PA:                 c.Cell.PA,
-			PC1:                c.Cell.PC1,
-			PC2:                c.Cell.PC2,
-			PU:                 c.Cell.PU,
-			Eta:                c.Cell.Eta,
-			WorkloadLambda:     c.Cell.Workload.Lambda,
-			WorkloadService:    c.Cell.Workload.MeanServiceSteps,
-			N1:                 c.Cell.N1,
-			SMax:               c.Cell.SMax,
-			DeltaR:             c.Cell.DeltaR,
-			F:                  c.Cell.F,
-			Runs:               int(c.Runs),
-			Availability:       a.Availability.Mean,
-			AvailabilityCI:     a.Availability.CI,
-			QuorumAvailability: a.QuorumAvailability.Mean,
-			QuorumCI:           a.QuorumAvailability.CI,
-			TimeToRecovery:     a.TimeToRecovery.Mean,
-			TimeToRecoveryCI:   a.TimeToRecovery.CI,
-			RecoveryFrequency:  a.RecoveryFrequency.Mean,
-			RecoveryFreqCI:     a.RecoveryFrequency.CI,
-			AvgNodes:           a.AvgNodes.Mean,
-			AvgNodesCI:         a.AvgNodes.CI,
-			AvgCost:            a.Cost.Mean,
-			AvgCostCI:          a.Cost.CI,
-		}
-	}
-	return report, nil
+	return SuiteJSON(SuiteByName(name))
 }
 
 // DetectorSensitivity evaluates J* as a function of detector quality
