@@ -419,6 +419,54 @@ func BenchmarkFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkLearnedTraining measures learned-strategy training throughput
+// at growing evaluation-worker counts — the Fig 7 convergence-suite
+// tracking metric. Training is bit-identical at any worker count (enforced
+// by TestAlgorithm1WorkersBitIdentical / TestTrainWorkersBitIdentical), so
+// the sweep is pure wall-clock: near-linear in workers on multi-core
+// hosts, flat on a 1-core CI host.
+func BenchmarkLearnedTraining(b *testing.B) {
+	params := nodemodel.DefaultParams()
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("cem/workers=%d", workers), func(b *testing.B) {
+			const budget = 200
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := recovery.Algorithm1(context.Background(), params, recovery.Algorithm1Config{
+					DeltaR:    15,
+					Optimizer: opt.CEM{},
+					Budget:    budget,
+					Episodes:  20,
+					Horizon:   100,
+					Seed:      1,
+					Workers:   workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(budget*b.N)/b.Elapsed().Seconds(), "evals/s")
+		})
+		b.Run(fmt.Sprintf("ppo/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ppo.Train(context.Background(), params, ppo.Config{
+					DeltaR:            15,
+					Iterations:        3,
+					StepsPerIteration: 512,
+					Horizon:           100,
+					Hidden:            16,
+					Layers:            2,
+					Seed:              1,
+					Workers:           workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBeliefUpdate measures the cost of one Appendix A belief update,
 // the hot operation of every node controller.
 func BenchmarkBeliefUpdate(b *testing.B) {

@@ -21,12 +21,17 @@
 //	tolerance-fleet -suite-file grid.json -format json
 //
 // Scale-out runs — shard a grid across machines, survive kills, and fold
-// the pieces back together:
+// the pieces back together. A .gz checkpoint suffix gzip-compresses the
+// record stream for very large grids; -resume and -merge read it
+// transparently. -learned-workers parallelizes each learned:* training run
+// (bit-identical output at any value):
 //
 //	tolerance-fleet -suite-file grid.json -shard 0/2 -checkpoint s0.jsonl   # machine A
 //	tolerance-fleet -suite-file grid.json -shard 1/2 -checkpoint s1.jsonl   # machine B
 //	tolerance-fleet -merge -format json s0.jsonl s1.jsonl                   # anywhere
 //	tolerance-fleet -suite-file grid.json -checkpoint run.jsonl -resume     # after a kill
+//	tolerance-fleet -suite-file grid.json -checkpoint run.jsonl.gz          # compressed records
+//	tolerance-fleet -suite learned-smoke -learned-workers 8                 # parallel training
 //
 // Output is deterministic: the same suite and seed produce byte-identical
 // results for any -workers value, and merging a complete shard set
@@ -71,8 +76,9 @@ func run() (retErr error) {
 	steps := flag.Int("steps", 0, "override steps per scenario (0 = suite default)")
 	seedsPerCell := flag.Int("seeds", 0, "override seeds per grid cell (0 = suite default)")
 	fitSamples := flag.Int("fit", 0, "override Ẑ-estimation samples (0 = suite default)")
+	learnedWorkers := flag.Int("learned-workers", 0, "concurrent evaluations inside each learned:* training run (0 = suite value, else GOMAXPROCS); output is bit-identical for any value")
 	shardSpec := flag.String("shard", "", "run only shard i of n (\"i/n\"); requires -checkpoint to keep the shard's records")
-	checkpoint := flag.String("checkpoint", "", "record completed scenarios to this file (JSONL); doubles as the shard result file")
+	checkpoint := flag.String("checkpoint", "", "record completed scenarios to this file (JSONL; a .gz suffix gzips it, and -resume/-merge read .gz transparently); doubles as the shard result file")
 	resume := flag.Bool("resume", false, "load the -checkpoint file first and skip scenarios it already holds")
 	merge := flag.Bool("merge", false, "fold the shard/checkpoint files given as arguments into the full-suite result and print it")
 	format := flag.String("format", "table", "output format: table | json | csv")
@@ -142,6 +148,19 @@ func run() (retErr error) {
 	}
 	if *fitSamples != 0 {
 		suite.FitSamples = *fitSamples
+	}
+	if *learnedWorkers != 0 {
+		if *learnedWorkers < 0 {
+			return fmt.Errorf("-learned-workers %d: must be >= 0", *learnedWorkers)
+		}
+		// A throughput knob only: it is excluded from the suite fingerprint,
+		// so checkpoints and shards taken at other values stay compatible.
+		lc := fleet.LearnedConfig{}
+		if suite.Learned != nil {
+			lc = *suite.Learned
+		}
+		lc.Workers = *learnedWorkers
+		suite.Learned = &lc
 	}
 
 	if *dumpSuite != "" {

@@ -99,11 +99,24 @@ type Intrusion struct {
 
 // Start begins a campaign against the given replica type.
 func Start(replicaType int) (*Intrusion, error) {
-	c, err := CampaignFor(replicaType)
-	if err != nil {
+	i := &Intrusion{}
+	if err := i.Begin(replicaType); err != nil {
 		return nil, err
 	}
-	return &Intrusion{campaign: c}, nil
+	return i, nil
+}
+
+// Begin (re)starts a campaign against the given replica type in place,
+// reusing the receiver's storage. Emulation runners embed an Intrusion per
+// node and recycle nodes across scenarios, so intrusion tracking never
+// allocates on the simulation hot path.
+func (i *Intrusion) Begin(replicaType int) error {
+	c, err := CampaignFor(replicaType)
+	if err != nil {
+		return err
+	}
+	*i = Intrusion{campaign: c}
+	return nil
 }
 
 // Done reports whether the replica is fully compromised.

@@ -340,6 +340,24 @@ func (e *Empirical) Distribution() *Categorical {
 	return MustCategorical(probs)
 }
 
+// GoldenGamma is the SplitMix64 increment (2^64 / phi, odd): the stream
+// separation constant every rng-stream derivation in the repo mixes with.
+const GoldenGamma uint64 = 0x9e3779b97f4a7c15
+
+// SplitMix64 is the SplitMix64 finalizer — the single canonical avalanche
+// mix behind every derived rng stream (scenario seeds, the fit and
+// workload streams, per-episode training streams, the worker-resident
+// emulation source). Deriving all streams through one finalizer keeps the
+// ROADMAP's stream-splitting policy one implementation, not several
+// copies of three magic constants.
+func SplitMix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Fingerprint hashes a float64 sequence bit-for-bit into a canonical
 // 16-hex-digit FNV-1a digest. Model types use it to build strategy-cache
 // keys: two parameter sets with equal fingerprints pose identical control

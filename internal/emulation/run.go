@@ -139,13 +139,16 @@ type Metrics struct {
 
 // simNode is one virtual node of the testbed. zh and zc are the node
 // controller's dense likelihood tables Ẑ(.|H), Ẑ(.|C) for the node's
-// current container (rows of the scenario's FitSet).
+// current container (rows of the scenario's FitSet). The intrusion tracker
+// is embedded by value (underAttack marks it live), so starting a campaign
+// never allocates.
 type simNode struct {
 	id            int
 	container     Container
 	zh, zc        []float64
 	state         nodemodel.State
-	intrusion     *attacker.Intrusion
+	intrusion     attacker.Intrusion
+	underAttack   bool
 	behaviour     attacker.Behaviour
 	belief        float64
 	phase         int // BTR calendar offset
@@ -158,7 +161,12 @@ type simNode struct {
 // runner holds one scenario run's state: the rng streams, the node set,
 // running metric sums, and scratch buffers reused across steps so the
 // steady-state step loop allocates nothing (guarded by
-// TestStepZeroAllocations).
+// TestStepZeroAllocations). A runner is additionally reusable across
+// scenarios through reset: the node structs, rng streams, scratch buffers
+// and metric state all carry over, so a worker that executes many scenarios
+// (the fleet engine's worker-resident mode) reaches a steady state where a
+// whole scenario run allocates nothing (guarded by
+// TestRunIntoSteadyStateZeroAllocations).
 type runner struct {
 	s    Scenario
 	rng  *rand.Rand // node/environment stream (seeded by Scenario.Seed)
@@ -166,6 +174,7 @@ type runner struct {
 	fits *FitSet
 
 	nodes  []*simNode
+	pool   []*simNode // recycled node structs (evictions + resets)
 	nextID int
 
 	m              Metrics
@@ -185,11 +194,13 @@ type runner struct {
 	candidates   []*simNode
 }
 
-// newRunner validates the scenario, resolves the offline fit, and places
-// the initial nodes.
-func newRunner(s Scenario) (*runner, error) {
+// reset validates the scenario, resolves the offline fit, recycles the
+// previous run's node structs, reseeds the rng streams in place, and places
+// the initial nodes. After reset the runner is in exactly the state a
+// freshly constructed runner for the scenario would be in.
+func (r *runner) reset(s Scenario) error {
 	if err := s.applyDefaults(); err != nil {
-		return nil, err
+		return err
 	}
 	fits := s.Fits
 	if fits == nil {
@@ -200,19 +211,28 @@ func newRunner(s Scenario) (*runner, error) {
 		var err error
 		fits, err = NewFitSet(s.FitSamples, fitSeed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	r := &runner{
-		s:            s,
-		rng:          rand.New(rand.NewSource(s.Seed)),
-		wrng:         rand.New(rand.NewSource(workloadStreamSeed(s.Seed))),
-		fits:         fits,
-		nodes:        make([]*simNode, 0, s.SMax),
-		observations: make([]int, 0, s.SMax),
-		recovering:   make([]*simNode, 0, s.K),
-		candidates:   make([]*simNode, 0, s.SMax),
+	r.s = s
+	r.fits = fits
+	if r.rng == nil {
+		r.rng = newSplitMixRand(s.Seed)
+		r.wrng = newSplitMixRand(workloadStreamSeed(s.Seed))
+	} else {
+		r.rng.Seed(s.Seed)
+		r.wrng.Seed(workloadStreamSeed(s.Seed))
 	}
+	r.pool = append(r.pool, r.nodes...)
+	r.nodes = r.nodes[:0]
+	r.m = Metrics{}
+	r.recoveryTimes = r.recoveryTimes[:0]
+	r.availableSteps, r.quorumSteps, r.nodeSteps = 0, 0, 0
+	r.totalNodes, r.costSum, r.obsSum = 0, 0, 0
+	r.obsCount, r.sessions = 0, 0
+	r.observations = r.observations[:0]
+	r.recovering = r.recovering[:0]
+	r.candidates = r.candidates[:0]
 	for i := 0; i < s.N1; i++ {
 		phase := 0
 		if s.DeltaR != recovery.InfiniteDeltaR {
@@ -221,13 +241,30 @@ func newRunner(s Scenario) (*runner, error) {
 		r.nodes = append(r.nodes, r.spawn(i, phase))
 	}
 	r.nextID = s.N1
+	return nil
+}
+
+// newRunner validates the scenario, resolves the offline fit, and places
+// the initial nodes.
+func newRunner(s Scenario) (*runner, error) {
+	r := &runner{}
+	if err := r.reset(s); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
-// spawn creates a node running a uniformly drawn catalog image.
+// spawn returns a node running a uniformly drawn catalog image, recycling
+// a previously evicted node struct when one is available.
 func (r *runner) spawn(id, phase int) *simNode {
+	var n *simNode
+	if k := len(r.pool); k > 0 {
+		n, r.pool = r.pool[k-1], r.pool[:k-1]
+	} else {
+		n = &simNode{}
+	}
 	ci := r.rng.Intn(r.fits.Len())
-	return &simNode{
+	*n = simNode{
 		id:            id,
 		container:     r.fits.Container(ci),
 		zh:            r.fits.zh[ci],
@@ -237,18 +274,52 @@ func (r *runner) spawn(id, phase int) *simNode {
 		phase:         phase,
 		compromisedAt: -1,
 	}
+	return n
 }
 
-// Run executes a scenario and returns its metrics.
+// Runner executes scenarios with state that is reused from one run to the
+// next: the node structs, rng streams, metric accumulators and scratch
+// buffers of a finished scenario become the next scenario's starting
+// capital. A Runner is for a single goroutine; fleet workers hold one each
+// and execute their whole batch stream through it, which removes the
+// per-scenario construction cost (≈ the runner, its node set and both rng
+// streams) from the grid hot path. Results are bit-identical to Run: reset
+// reproduces exactly the state a fresh runner would start with.
+type Runner struct {
+	run runner
+}
+
+// NewRunner returns an empty reusable runner; the first RunInto sizes it.
+func NewRunner() *Runner { return &Runner{} }
+
+// RunInto executes the scenario on the reusable runner and returns the
+// metrics by value (no per-run allocation).
+func (r *Runner) RunInto(s Scenario) (Metrics, error) { return RunInto(r, s) }
+
+// RunInto executes a scenario on a reusable runner: the runner's node pool,
+// rng streams and scratch state are recycled, so a warm runner executes a
+// whole scenario without allocating (guarded by
+// TestRunIntoSteadyStateZeroAllocations). Output is bit-identical to Run.
+func RunInto(r *Runner, s Scenario) (Metrics, error) {
+	run := &r.run
+	if err := run.reset(s); err != nil {
+		return Metrics{}, err
+	}
+	for t := 1; t <= run.s.Steps; t++ {
+		run.step(t)
+	}
+	return *run.finish(), nil
+}
+
+// Run executes a scenario and returns its metrics. It is the allocate-fresh
+// wrapper around RunInto; callers executing many scenarios should hold a
+// Runner and use RunInto instead.
 func Run(s Scenario) (*Metrics, error) {
-	r, err := newRunner(s)
+	m, err := RunInto(NewRunner(), s)
 	if err != nil {
 		return nil, err
 	}
-	for t := 1; t <= r.s.Steps; t++ {
-		r.step(t)
-	}
-	return r.finish(), nil
+	return &m, nil
 }
 
 // step advances the simulation by one 60-second time step.
@@ -342,7 +413,7 @@ func (r *runner) step(t int) {
 		n.zh = r.fits.zh[ci]
 		n.zc = r.fits.zc[ci]
 		n.state = nodemodel.Healthy
-		n.intrusion = nil
+		n.underAttack = false
 		n.belief = s.Params.PA
 		n.lastAction = nodemodel.Recover
 	}
@@ -355,6 +426,7 @@ func (r *runner) step(t int) {
 		if n.state == nodemodel.Crashed {
 			r.m.Evictions++
 			evictedNow++
+			r.pool = append(r.pool, n)
 			continue
 		}
 		alive = append(alive, n)
@@ -420,13 +492,12 @@ func (r *runner) step(t int) {
 				n.state = nodemodel.Crashed
 				continue
 			}
-			if n.intrusion == nil && dist.SampleBernoulli(rng, s.Params.PA) {
-				intr, err := attacker.Start(n.container.ID)
-				if err == nil {
-					n.intrusion = intr
+			if !n.underAttack && dist.SampleBernoulli(rng, s.Params.PA) {
+				if err := n.intrusion.Begin(n.container.ID); err == nil {
+					n.underAttack = true
 				}
 			}
-			if n.intrusion != nil {
+			if n.underAttack {
 				n.pendingBoost += n.intrusion.Advance(rng)
 				if n.intrusion.Done() {
 					n.state = nodemodel.Compromised
@@ -448,7 +519,7 @@ func (r *runner) step(t int) {
 				// Software update silently cleans the node (eq. 2g);
 				// not a controller recovery, so T(R) is not recorded.
 				n.state = nodemodel.Healthy
-				n.intrusion = nil
+				n.underAttack = false
 				n.compromisedAt = -1
 			}
 		}
@@ -629,7 +700,14 @@ func (a *Accumulator) Runs() int64 { return a.Availability.Count }
 
 // Aggregate summarizes the folded runs.
 func (a *Accumulator) Aggregate() *Aggregate {
-	return &Aggregate{
+	out := a.AggregateValue()
+	return &out
+}
+
+// AggregateValue summarizes the folded runs without allocating — the form
+// fleet result assembly uses once per grid cell.
+func (a *Accumulator) AggregateValue() Aggregate {
+	return Aggregate{
 		Availability:       a.Availability.Summary(),
 		QuorumAvailability: a.QuorumAvailability.Summary(),
 		TimeToRecovery:     a.TimeToRecovery.Summary(),

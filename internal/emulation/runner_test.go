@@ -1,0 +1,97 @@
+package emulation
+
+import (
+	"testing"
+
+	"tolerance/internal/baselines"
+	"tolerance/internal/nodemodel"
+)
+
+// TestRunIntoMatchesRun is the worker-residency contract: a sequence of
+// scenarios executed through one reused Runner produces exactly the metrics
+// a fresh Run of each scenario produces — reset leaks no state between
+// runs, in either direction (node pool, rng streams, metric sums, scratch).
+func TestRunIntoMatchesRun(t *testing.T) {
+	fits, err := NewFitSet(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []Scenario{
+		{N1: 3, DeltaR: 15, Steps: 120, Seed: 1, Policy: baselines.Periodic{}, Fits: fits, FitSeed: 7},
+		{N1: 6, DeltaR: 25, Steps: 150, Seed: 2, Policy: baselines.NoRecovery{}, Fits: fits, FitSeed: 7},
+		{N1: 9, DeltaR: 15, Steps: 90, Seed: 3, Policy: baselines.PeriodicAdaptive{TargetN: 9}, Fits: fits, FitSeed: 7},
+		{N1: 3, DeltaR: 15, Steps: 120, Seed: 1, Policy: baselines.Periodic{}, Fits: fits, FitSeed: 7},
+	}
+	r := NewRunner()
+	for i, s := range scenarios {
+		reused, err := r.RunInto(s)
+		if err != nil {
+			t.Fatalf("scenario %d: RunInto: %v", i, err)
+		}
+		fresh, err := Run(s)
+		if err != nil {
+			t.Fatalf("scenario %d: Run: %v", i, err)
+		}
+		if reused != *fresh {
+			t.Errorf("scenario %d: reused runner metrics differ:\n got %+v\nwant %+v", i, reused, *fresh)
+		}
+	}
+}
+
+// TestRunIntoSteadyStateZeroAllocations guards the worker-resident
+// contract: once a Runner is warm (its node pool and scratch sized by a
+// first run), executing a whole scenario allocates nothing — including
+// intrusion starts, recoveries and node churn, which all recycle pooled
+// state.
+func TestRunIntoSteadyStateZeroAllocations(t *testing.T) {
+	params := nodemodel.DefaultParams()
+	fits, err := NewFitSet(300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scenario{
+		N1:      6,
+		DeltaR:  15,
+		Steps:   200,
+		Seed:    11,
+		Params:  params,
+		Policy:  baselines.Periodic{},
+		Fits:    fits,
+		FitSeed: 5,
+	}
+	r := NewRunner()
+	if _, err := r.RunInto(s); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := r.RunInto(s); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state RunInto allocates %v times per scenario, want 0", allocs)
+	}
+}
+
+// TestAccumulatorAddZeroAllocations guards the streaming-aggregation hot
+// path: folding one run's metrics into the per-cell accumulators must not
+// allocate (the fleet aggregator folds once per scenario).
+func TestAccumulatorAddZeroAllocations(t *testing.T) {
+	m := Metrics{Availability: 0.9, TimeToRecovery: 3, RecoveryFrequency: 0.05, AvgNodes: 6, AvgCost: 0.2}
+	var w Welford
+	x := 0.1
+	allocs := testing.AllocsPerRun(1000, func() {
+		w.Add(x)
+		x += 0.01
+	})
+	if allocs != 0 {
+		t.Errorf("Welford.Add allocates %v times per call, want 0", allocs)
+	}
+	var acc Accumulator
+	allocs = testing.AllocsPerRun(1000, func() {
+		acc.Add(&m)
+	})
+	if allocs != 0 {
+		t.Errorf("Accumulator.Add allocates %v times per call, want 0", allocs)
+	}
+}

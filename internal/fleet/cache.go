@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -47,13 +48,29 @@ type CacheStats struct {
 // result.
 type cacheEntry[T any] struct {
 	once sync.Once
+	done atomic.Bool
 	val  T
 	err  error
 }
 
 func (e *cacheEntry[T]) compute(f func() (T, error)) (T, error) {
-	e.once.Do(func() { e.val, e.err = f() })
+	e.once.Do(func() {
+		e.val, e.err = f()
+		e.done.Store(true)
+	})
 	return e.val, e.err
+}
+
+// get returns the memoized value without synchronizing on the sync.Once —
+// the allocation-free fast path for keys that are known to be resolved. The
+// third result reports whether a computation has completed (successfully or
+// not); callers fall back on compute otherwise.
+func (e *cacheEntry[T]) get() (T, error, bool) {
+	if e.done.Load() {
+		return e.val, e.err, true
+	}
+	var zero T
+	return zero, nil, false
 }
 
 // StrategyCache memoizes the two control-problem solvers keyed by
@@ -68,6 +85,7 @@ type StrategyCache struct {
 	lp          map[string]*cacheEntry[*cmdp.Solution]
 	fits        map[string]*cacheEntry[*emulation.FitSet]
 	policies    map[string]*cacheEntry[baselines.Policy]
+	scenarios   map[string]*cacheEntry[emulation.Scenario]
 
 	recoverySolves    atomic.Int64
 	recoveryHits      atomic.Int64
@@ -90,6 +108,7 @@ func NewStrategyCache() *StrategyCache {
 		lp:          make(map[string]*cacheEntry[*cmdp.Solution]),
 		fits:        make(map[string]*cacheEntry[*emulation.FitSet]),
 		policies:    make(map[string]*cacheEntry[baselines.Policy]),
+		scenarios:   make(map[string]*cacheEntry[emulation.Scenario]),
 	}
 }
 
@@ -270,6 +289,56 @@ func (c *StrategyCache) PolicyFor(ctx context.Context, cell Cell, suite Suite) (
 		c.mu.Unlock()
 	}
 	return pol, err
+}
+
+// scenarioFor resolves the cell's policy and assembles the scenario
+// template every seed of the cell copies (Seed, FitSeed and Fits are set
+// per scenario by the engine). The template is memoized under the cheap
+// (suite fingerprint, cell index) key, so the steady-state fleet hot path —
+// a cell whose policy was already built by an earlier run of the same suite
+// — skips the canonical construction-fingerprint computation and its
+// allocations entirely; the first resolution per key still routes through
+// PolicyFor, which deduplicates the actual build (including learned
+// training) across suites by construction fingerprint.
+func (c *StrategyCache) scenarioFor(ctx context.Context, suiteFP string, cell *Cell, suite Suite) (emulation.Scenario, error) {
+	var kb [48]byte
+	key := append(kb[:0], suiteFP...)
+	key = append(key, '|')
+	key = strconv.AppendInt(key, int64(cell.Index), 10)
+
+	c.mu.Lock()
+	entry, ok := c.scenarios[string(key)]
+	if !ok {
+		entry = &cacheEntry[emulation.Scenario]{}
+		c.scenarios[string(key)] = entry
+	}
+	c.mu.Unlock()
+
+	if ok {
+		if sc, err, done := entry.get(); done && err == nil {
+			c.policyHits.Add(1)
+			return sc, nil
+		}
+		c.policyHits.Add(1)
+	}
+	sc, err := entry.compute(func() (emulation.Scenario, error) {
+		policy, err := c.PolicyFor(ctx, *cell, suite)
+		if err != nil {
+			return emulation.Scenario{}, err
+		}
+		s := suite.withDefaults()
+		return cell.scenario(policy, 0, s.Steps, s.FitSamples), nil
+	})
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// Mirror PolicyFor's eviction: a cancelled build must not poison
+		// the shared cache for later runs with a live context.
+		c.mu.Lock()
+		if c.scenarios[string(key)] == entry {
+			delete(c.scenarios, string(key))
+		}
+		c.mu.Unlock()
+	}
+	return sc, err
 }
 
 // seedFromKey hashes a cache key into a deterministic rng seed.

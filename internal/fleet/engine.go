@@ -5,14 +5,20 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
-	"tolerance/internal/baselines"
+	"tolerance/internal/dist"
 	"tolerance/internal/emulation"
 )
 
 // Config tunes one fleet execution.
 type Config struct {
-	// Workers bounds the worker pool (default min(GOMAXPROCS, 8)).
+	// Workers bounds the worker pool. Zero (or negative) defaults to
+	// GOMAXPROCS; an explicit value is never capped or clamped, so runs may
+	// pin a single worker or oversubscribe a host regardless of its core
+	// count. (Earlier releases capped the default at 8 — that cap is gone,
+	// and it never applied to explicit values.) Output is byte-identical
+	// for every value.
 	Workers int
 	// Cache supplies a shared strategy cache; nil creates a fresh one.
 	// Sharing a cache across suite runs with overlapping grids avoids
@@ -49,9 +55,6 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
-		if c.Workers > 8 {
-			c.Workers = 8
-		}
 	}
 	if c.Cache == nil {
 		c.Cache = NewStrategyCache()
@@ -94,23 +97,48 @@ func resultFromAccs(suite Suite, cells []Cell, accs []emulation.Accumulator, sce
 		out.Cells[i] = CellResult{
 			Cell:      cells[i],
 			Runs:      accs[i].Runs(),
-			Aggregate: *accs[i].Aggregate(),
+			Aggregate: accs[i].AggregateValue(),
 		}
 	}
 	return out
 }
 
 // scenarioSeed derives a scenario's rng seed from the suite seed and the
-// scenario index with a splitmix64-style mix, so neighbouring indices get
-// decorrelated streams and results never depend on worker scheduling.
+// scenario index with the shared SplitMix64 finalizer, so neighbouring
+// indices get decorrelated streams and results never depend on worker
+// scheduling.
 func scenarioSeed(suiteSeed int64, index int) int64 {
-	x := uint64(suiteSeed)*0x9e3779b97f4a7c15 + uint64(index) + 1
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int64(x)
+	return int64(dist.SplitMix64(uint64(suiteSeed)*dist.GoldenGamma + uint64(index) + 1))
+}
+
+// outcome is one executed (or replayed) scenario's result. Metrics travel
+// by value inside pooled batch buffers, so the steady-state path moves no
+// per-scenario allocation across the worker/aggregator boundary.
+type outcome struct {
+	index   int // global scenario index — the seed and record identity
+	cell    int
+	fresh   bool
+	metrics emulation.Metrics
+	err     error
+}
+
+// batchResult carries the outcomes of one contiguous slice of scheduled
+// positions, [start, start+len(outs)). Buffers cycle through batchPool:
+// workers take one per batch, the aggregator returns it after folding.
+type batchResult struct {
+	start int
+	outs  []outcome
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchResult) }}
+
+// cellState lazily resolves one grid cell's scenario template, at most once
+// per Run, with an allocation-free double-checked fast path once resolved.
+type cellState struct {
+	done atomic.Bool
+	mu   sync.Mutex
+	sc   emulation.Scenario
+	err  error
 }
 
 // Run expands the suite and executes every scheduled scenario — the whole
@@ -148,78 +176,103 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 		}
 	}
 
-	type job struct {
-		pos   int // position in sched — the fold order
-		index int // global scenario index — the seed and record identity
-		cell  *Cell
-	}
-	type outcome struct {
-		pos     int
-		index   int
-		cell    int
-		fresh   bool
-		metrics *emulation.Metrics
-		err     error
-	}
-
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	jobs := make(chan job)
-	outcomes := make(chan outcome, cfg.Workers)
-
-	// Dispatcher: scheduled scenarios in index order (cell-major, seeds
-	// within).
-	go func() {
-		defer close(jobs)
-		for p, idx := range sched {
-			select {
-			case jobs <- job{pos: p, index: idx, cell: &cells[idx/suite.SeedsPerCell]}:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-
-	// Workers: replay completed scenarios from their records; otherwise
-	// construct the cell's policy and offline fit through the cache and
-	// run. Every scenario of the suite shares one fit seed derived from
-	// the master seed, so the Ẑ estimation happens once per suite instead
-	// of once per scenario (the paper's offline training phase).
+	// Suite-wide offline fit, resolved once per run instead of once per
+	// scenario: every scenario shares one fit seed derived from the master
+	// seed, so the Ẑ estimation happens once per suite (the paper's offline
+	// training phase). A run whose scheduled work is entirely replayed from
+	// records never fits at all. With NoFitCache every scenario refits
+	// inline from the same seed (diagnostic; byte-identical output).
 	fitSeed := emulation.FitStreamSeed(suite.Seed)
+	var fits *emulation.FitSet
+	if !cfg.NoFitCache && len(cfg.Completed) < total {
+		var err error
+		if fits, err = cfg.Cache.Fits(suite.FitSamples, fitSeed); err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-run cell execution state: each scheduled cell resolves its policy
+	// and scenario template at most once per run (replayed cells not at
+	// all), with an allocation-free fast path after the first resolution.
+	suiteFP := suite.Fingerprint()
+	states := make([]cellState, len(cells))
+
+	// Workers claim index-contiguous batches of scheduled positions through
+	// one atomic counter — one channel round-trip per batch instead of two
+	// per scenario — and execute them on a worker-resident emulation runner
+	// whose node pool, rng streams and scratch survive from scenario to
+	// scenario. Outcome buffers cycle through a pool, so the steady-state
+	// per-scenario path allocates nothing.
+	batch := total / (cfg.Workers * 4)
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 32 {
+		batch = 32
+	}
+	numBatches := (total + batch - 1) / batch
+
+	outcomes := make(chan *batchResult, cfg.Workers)
+	var nextBatch atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				var m *emulation.Metrics
-				var err error
-				fresh := true
-				if rec, ok := cfg.Completed[j.index]; ok {
-					stored := rec.Metrics
-					m, fresh = &stored, false
-				} else {
-					var policy baselines.Policy
-					policy, err = cfg.Cache.PolicyFor(ctx, *j.cell, suite)
-					if err == nil {
-						sc := j.cell.scenario(policy,
-							scenarioSeed(suite.Seed, j.index), suite.Steps, suite.FitSamples)
-						sc.FitSeed = fitSeed
-						if !cfg.NoFitCache {
-							sc.Fits, err = cfg.Cache.Fits(suite.FitSamples, fitSeed)
-						}
-						if err == nil {
-							m, err = emulation.Run(sc)
-						}
-					}
-				}
-				select {
-				case outcomes <- outcome{pos: j.pos, index: j.index, cell: j.cell.Index, fresh: fresh, metrics: m, err: err}:
-				case <-ctx.Done():
+			runner := emulation.NewRunner()
+			for ctx.Err() == nil {
+				bi := int(nextBatch.Add(1)) - 1
+				if bi >= numBatches {
 					return
 				}
-				if err != nil {
+				start := bi * batch
+				end := min(start+batch, total)
+				br, _ := batchPool.Get().(*batchResult)
+				br.start = start
+				br.outs = br.outs[:0]
+				failed := false
+				for pos := start; pos < end && !failed; pos++ {
+					if ctx.Err() != nil {
+						break // cancelled mid-batch: deliver the executed prefix
+					}
+					idx := sched[pos]
+					cell := &cells[idx/suite.SeedsPerCell]
+					oc := outcome{index: idx, cell: cell.Index, fresh: true}
+					if rec, ok := cfg.Completed[idx]; ok {
+						oc.metrics, oc.fresh = rec.Metrics, false
+					} else {
+						st := &states[cell.Index]
+						if !st.done.Load() {
+							st.mu.Lock()
+							if !st.done.Load() {
+								st.sc, st.err = cfg.Cache.scenarioFor(ctx, suiteFP, cell, suite)
+								st.done.Store(true)
+							}
+							st.mu.Unlock()
+						}
+						if st.err != nil {
+							oc.err = st.err
+						} else {
+							sc := st.sc
+							sc.Seed = scenarioSeed(suite.Seed, idx)
+							sc.FitSeed = fitSeed
+							sc.Fits = fits
+							oc.metrics, oc.err = runner.RunInto(sc)
+						}
+					}
+					br.outs = append(br.outs, oc)
+					failed = oc.err != nil
+				}
+				// The send is unconditional: the aggregator drains the
+				// channel until every worker has exited, so delivery cannot
+				// block — and must not be skipped, or a dropped batch ahead
+				// of a failure in fold order would mask the real scenario
+				// error behind the cancellation it triggered.
+				outcomes <- br
+				if failed {
 					cancel() // fail fast; the aggregator reports the error
 					return
 				}
@@ -231,41 +284,53 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 		close(outcomes)
 	}()
 
-	// Aggregator: fold in strict scenario-index order. Out-of-order
+	// Aggregator: fold in strict scenario-index order. Out-of-order batch
 	// completions park in a small reorder buffer (bounded in practice by
 	// the worker count) so the Welford folds — and therefore every floating
 	// point result — are independent of scheduling. Checkpoint records are
 	// emitted from the same ordered drain, so a checkpoint file is always
 	// an index-ordered prefix of the shard's work.
 	accs := make([]emulation.Accumulator, len(cells))
-	pending := make(map[int]outcome)
+	pending := make(map[int]*batchResult)
 	next := 0
 	var firstErr error
-	for oc := range outcomes {
-		if oc.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("fleet: scenario %d (cell %d): %w", oc.index, oc.cell, oc.err)
+	for br := range outcomes {
+		// Scenario errors are captured on receipt, not in fold order: a
+		// cancelled sibling worker may have delivered only a prefix of an
+		// earlier batch, so the ordered fold might never reach the batch
+		// that carries the real failure.
+		if firstErr == nil {
+			for i := range br.outs {
+				if err := br.outs[i].err; err != nil {
+					firstErr = fmt.Errorf("fleet: scenario %d (cell %d): %w",
+						br.outs[i].index, br.outs[i].cell, err)
+					break
+				}
 			}
-			continue
 		}
-		pending[oc.pos] = oc
+		pending[br.start] = br
 		for firstErr == nil {
-			got, ok := pending[next]
+			b, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
-			accs[got.cell].Add(got.metrics)
-			next++
-			if got.fresh && cfg.OnRecord != nil {
-				if err := cfg.OnRecord(RunRecord{Index: got.index, Cell: got.cell, Metrics: *got.metrics}); err != nil {
-					firstErr = fmt.Errorf("fleet: record scenario %d: %w", got.index, err)
-					cancel()
+			for i := range b.outs {
+				oc := &b.outs[i]
+				accs[oc.cell].Add(&oc.metrics)
+				next++
+				if oc.fresh && cfg.OnRecord != nil {
+					if err := cfg.OnRecord(RunRecord{Index: oc.index, Cell: oc.cell, Metrics: oc.metrics}); err != nil {
+						firstErr = fmt.Errorf("fleet: record scenario %d: %w", oc.index, err)
+						cancel()
+						break
+					}
+				}
+				if cfg.Progress != nil {
+					cfg.Progress(next, total)
 				}
 			}
-			if cfg.Progress != nil {
-				cfg.Progress(next, total)
-			}
+			batchPool.Put(b)
 		}
 	}
 	if firstErr != nil {

@@ -2,9 +2,14 @@ package fleet
 
 import (
 	"bufio"
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"tolerance/internal/emulation"
@@ -41,6 +46,12 @@ const CheckpointVersion = 1
 // most this many completed scenarios.
 const checkpointSyncEvery = 16
 
+// gzipCheckpoint reports whether a checkpoint path selects the gzip
+// framing: very large grids name their files *.gz and every consumer
+// (-checkpoint, -resume, -merge) handles them transparently. The JSONL
+// payload inside is identical to a plain file's.
+func gzipCheckpoint(path string) bool { return strings.HasSuffix(path, ".gz") }
+
 // Checkpoint is the parsed content of a checkpoint or shard result file.
 type Checkpoint struct {
 	// Suite is the defaulted suite the records were produced from.
@@ -49,20 +60,56 @@ type Checkpoint struct {
 	Shard Shard
 	// Records maps scenario index to its completed record.
 	Records map[int]RunRecord
-	// validBytes is the extent of the intact newline-terminated prefix;
-	// AppendCheckpoint truncates to it so a torn tail is never glued onto
-	// fresh records.
+	// validBytes is the extent of the intact newline-terminated prefix (of
+	// the decompressed payload for gzip files); AppendCheckpoint truncates
+	// plain files to it so a torn tail is never glued onto fresh records.
 	validBytes int64
+	// gz records that the file was gzip-framed; resume rewrites such files
+	// instead of truncate-and-append.
+	gz bool
 }
 
-// ReadCheckpoint parses a checkpoint file. The format is JSONL: a header
-// line followed by one record per line. A torn final line — the signature
-// of a run killed mid-write — is ignored, so a crashed run's file is
-// always loadable; corruption anywhere else is an error.
-func ReadCheckpoint(path string) (*Checkpoint, error) {
+// readCheckpointBytes loads a checkpoint file's JSONL payload. For gzip
+// files it decompresses as far as the stream allows: a run killed
+// mid-write leaves a truncated gzip tail, which surfaces as an unexpected
+// EOF after some decompressed prefix — exactly the torn-tail shape the
+// JSONL parser already tolerates (the writer's periodic Flush guarantees
+// every synced record is in a decompressible block), so a crashed gzip
+// checkpoint is always loadable.
+func readCheckpointBytes(path string) ([]byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: read checkpoint: %w", err)
+	}
+	if !gzipCheckpoint(path) {
+		return data, nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint %s: %v", ErrBadSuite, path, err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, fmt.Errorf("%w: checkpoint %s: %v", ErrBadSuite, path, err)
+	}
+	// Close verifies the trailer checksum, which a truncated member cannot
+	// pass; the decompressed prefix is still a valid torn-tail payload.
+	_ = zr.Close()
+	return out, nil
+}
+
+// ReadCheckpoint parses a checkpoint file (gzip-framed when the path ends
+// in .gz). The format is JSONL: a header line followed by one record per
+// line. A torn final line — the signature of a run killed mid-write — is
+// ignored, so a crashed run's file is always loadable; corruption anywhere
+// else is an error.
+func ReadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := readCheckpointBytes(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: checkpoint %s is empty", ErrBadSuite, path)
 	}
 	lines := strings.Split(string(data), "\n")
 	// Drop trailing empty lines (the file ends with a newline when intact).
@@ -106,6 +153,7 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 		Shard:      shard,
 		Records:    make(map[int]RunRecord, len(body)),
 		validBytes: int64(len(lines[0]) + 1),
+		gz:         gzipCheckpoint(path),
 	}
 	for i, line := range body {
 		var rec RunRecord
@@ -127,11 +175,30 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 
 // CheckpointWriter appends run records to a checkpoint file as they
 // complete, fsyncing every checkpointSyncEvery records so a killed run can
-// be resumed with bounded rework.
+// be resumed with bounded rework. A path ending in .gz writes the same
+// JSONL stream gzip-compressed (for very large grids); each sync flushes a
+// compressed block, so the synced prefix of a killed gzip run is always
+// decompressible. Records encode through one persistent json.Encoder bound
+// to the output pipeline, so a checkpoint write allocates no per-record
+// output buffer.
 type CheckpointWriter struct {
 	f        *os.File
-	w        *bufio.Writer
+	bw       *bufio.Writer
+	zw       *gzip.Writer // nil for plain files
+	enc      *json.Encoder
 	unsynced int
+}
+
+// newCheckpointWriter assembles the encode→(gzip)→buffer→file pipeline.
+func newCheckpointWriter(path string, f *os.File) *CheckpointWriter {
+	w := &CheckpointWriter{f: f, bw: bufio.NewWriter(f)}
+	var sink io.Writer = w.bw
+	if gzipCheckpoint(path) {
+		w.zw = gzip.NewWriter(w.bw)
+		sink = w.zw
+	}
+	w.enc = json.NewEncoder(sink)
+	return w
 }
 
 // CreateCheckpoint creates (truncating) a checkpoint file for the suite
@@ -142,7 +209,7 @@ func CreateCheckpoint(path string, suite Suite, shard Shard) (*CheckpointWriter,
 	if err != nil {
 		return nil, fmt.Errorf("fleet: create checkpoint: %w", err)
 	}
-	w := &CheckpointWriter{f: f, w: bufio.NewWriter(f)}
+	w := newCheckpointWriter(path, f)
 	hdr := checkpointHeader{
 		Version:     CheckpointVersion,
 		Fingerprint: suite.Fingerprint(),
@@ -162,11 +229,47 @@ func CreateCheckpoint(path string, suite Suite, shard Shard) (*CheckpointWriter,
 }
 
 // AppendCheckpoint reopens the checkpoint file ck was read from to append
-// fresh records after a resume. It first truncates the file to ck's intact
+// fresh records after a resume. A plain file is truncated to ck's intact
 // prefix, discarding any torn final line a kill left behind — otherwise
 // the first appended record would be glued onto the fragment, corrupting
-// the file for -merge and later resumes.
+// the file for -merge and later resumes. A gzip file cannot be truncated
+// to a record boundary in place, so it is rewritten from the parsed
+// records (in index order — the fold order the original writer used)
+// before appending continues.
 func AppendCheckpoint(path string, ck *Checkpoint) (*CheckpointWriter, error) {
+	if ck.gz {
+		// Rewrite to a sibling temp file and rename over the original only
+		// once every parsed record is durable, so a second kill during the
+		// rewrite cannot lose the records the first run already synced.
+		// (The .gz suffix on the temp name keeps the gzip framing.)
+		tmp := strings.TrimSuffix(path, ".gz") + ".rewrite.gz"
+		w, err := CreateCheckpoint(tmp, ck.Suite, ck.Shard)
+		if err != nil {
+			return nil, err
+		}
+		abort := func(err error) (*CheckpointWriter, error) {
+			w.f.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+		idxs := make([]int, 0, len(ck.Records))
+		for idx := range ck.Records {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			if err := w.Append(ck.Records[idx]); err != nil {
+				return abort(err)
+			}
+		}
+		if err := w.sync(); err != nil {
+			return abort(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return abort(fmt.Errorf("fleet: append checkpoint: %w", err))
+		}
+		return w, nil
+	}
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: append checkpoint: %w", err)
@@ -179,7 +282,7 @@ func AppendCheckpoint(path string, ck *Checkpoint) (*CheckpointWriter, error) {
 		f.Close()
 		return nil, fmt.Errorf("fleet: append checkpoint: %w", err)
 	}
-	return &CheckpointWriter{f: f, w: bufio.NewWriter(f)}, nil
+	return newCheckpointWriter(path, f), nil
 }
 
 // Append writes one completed scenario record.
@@ -194,21 +297,32 @@ func (c *CheckpointWriter) Append(rec RunRecord) error {
 	return nil
 }
 
-// Close flushes, syncs and closes the file.
+// Close flushes, syncs and closes the file. For gzip files it also writes
+// the stream trailer, so only a Closed gzip checkpoint reads back without
+// the torn-tail path.
 func (c *CheckpointWriter) Close() error {
 	err := c.sync()
+	if c.zw != nil {
+		if zerr := c.zw.Close(); err == nil && zerr != nil {
+			err = fmt.Errorf("fleet: checkpoint: %w", zerr)
+		}
+		if ferr := c.bw.Flush(); err == nil && ferr != nil {
+			err = fmt.Errorf("fleet: checkpoint: %w", ferr)
+		}
+		if serr := c.f.Sync(); err == nil && serr != nil {
+			err = fmt.Errorf("fleet: checkpoint: %w", serr)
+		}
+	}
 	if cerr := c.f.Close(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
+// writeLine encodes one JSONL line through the persistent encoder (Encode
+// appends the newline itself).
 func (c *CheckpointWriter) writeLine(v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("fleet: checkpoint: %w", err)
-	}
-	if _, err := c.w.Write(append(data, '\n')); err != nil {
+	if err := c.enc.Encode(v); err != nil {
 		return fmt.Errorf("fleet: checkpoint: %w", err)
 	}
 	return nil
@@ -216,7 +330,12 @@ func (c *CheckpointWriter) writeLine(v any) error {
 
 func (c *CheckpointWriter) sync() error {
 	c.unsynced = 0
-	if err := c.w.Flush(); err != nil {
+	if c.zw != nil {
+		if err := c.zw.Flush(); err != nil {
+			return fmt.Errorf("fleet: checkpoint: %w", err)
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("fleet: checkpoint: %w", err)
 	}
 	if err := c.f.Sync(); err != nil {

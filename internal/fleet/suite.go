@@ -85,6 +85,13 @@ type LearnedConfig struct {
 	Horizon int `json:"horizon,omitempty"`
 	// Iterations is the PPO rollout/update cycle count.
 	Iterations int `json:"iterations,omitempty"`
+	// Workers bounds the concurrent candidate/rollout evaluations inside
+	// one learned training run (0 defaults to GOMAXPROCS). Training is
+	// bit-identical for any value, so Workers — unlike the budget fields —
+	// is a throughput knob, not part of the grid's identity: it is excluded
+	// from Suite.Fingerprint, and checkpoints written at one value resume
+	// and merge with runs at another.
+	Workers int `json:"workers,omitempty"`
 }
 
 // CrashProfile pairs the two crash probabilities of eq. (2): pC1 in the
@@ -236,7 +243,7 @@ func (s Suite) Validate() error {
 		}
 	}
 	if lc := s.Learned; lc != nil {
-		if lc.Budget < 0 || lc.Episodes < 0 || lc.Horizon < 0 || lc.Iterations < 0 {
+		if lc.Budget < 0 || lc.Episodes < 0 || lc.Horizon < 0 || lc.Iterations < 0 || lc.Workers < 0 {
 			return fmt.Errorf("%w: negative learned config %+v", ErrBadSuite, *lc)
 		}
 	}
@@ -349,6 +356,7 @@ func (c Cell) spec(s Suite) strategies.Spec {
 	if lc := s.Learned; lc != nil {
 		sp.Budget, sp.Episodes, sp.Horizon, sp.Iterations =
 			lc.Budget, lc.Episodes, lc.Horizon, lc.Iterations
+		sp.Workers = lc.Workers
 	}
 	return sp
 }

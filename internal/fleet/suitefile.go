@@ -85,7 +85,22 @@ func DumpSuite(s Suite) ([]byte, error) {
 // combine records produced by different grids (or by the same grid with
 // different overrides).
 func (s Suite) Fingerprint() string {
-	data, err := json.Marshal(s.withDefaults())
+	s = s.withDefaults()
+	// Learned.Workers is a throughput knob with bit-identical output for
+	// any value, not part of the grid's identity: canonicalize it away so
+	// checkpoints written at one training worker count resume and merge
+	// with runs at another. A learned block that only carried Workers
+	// collapses to the nil block it is equivalent to.
+	if lc := s.Learned; lc != nil && lc.Workers != 0 {
+		canon := *lc
+		canon.Workers = 0
+		if canon == (LearnedConfig{}) {
+			s.Learned = nil
+		} else {
+			s.Learned = &canon
+		}
+	}
+	data, err := json.Marshal(s)
 	if err != nil {
 		// Suite is a plain data struct; Marshal cannot fail on it.
 		panic(fmt.Sprintf("fleet: fingerprint suite: %v", err))

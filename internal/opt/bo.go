@@ -28,8 +28,11 @@ type BO struct {
 // Name implements Optimizer.
 func (BO) Name() string { return "bo" }
 
-// Minimize implements Optimizer.
-func (b BO) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+// Minimize implements Optimizer. The initial random design evaluates as
+// one concurrent batch; the acquisition loop is inherently sequential
+// (every proposal conditions the GP on all previous results), so workers
+// does not speed it up. Results are bit-identical for any workers value.
+func (b BO) Minimize(rng *rand.Rand, dim int, obj Objective, budget, workers int) (*Result, error) {
 	if err := validateArgs(dim, budget, obj); err != nil {
 		return nil, err
 	}
@@ -65,17 +68,16 @@ func (b BO) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Resul
 	}
 
 	tr := newTracker(obj)
-	var xs [][]float64
-	var ys []float64
-	for e := 0; e < initial; e++ {
+	xs := make([][]float64, initial)
+	ys := make([]float64, initial)
+	for e := range xs {
 		theta := make([]float64, dim)
 		for i := range theta {
 			theta[i] = rng.Float64()
 		}
-		y := tr.evaluate(theta)
-		xs = append(xs, theta)
-		ys = append(ys, y)
+		xs[e] = theta
 	}
+	tr.evaluateBatch(xs, ys, workers)
 
 	model := newGP(lengthScale, 1, noise)
 	for tr.evals < budget {

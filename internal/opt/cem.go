@@ -23,8 +23,11 @@ type CEM struct {
 // Name implements Optimizer.
 func (CEM) Name() string { return "cem" }
 
-// Minimize implements Optimizer.
-func (c CEM) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+// Minimize implements Optimizer. Each generation's population is drawn
+// up front from rng (the same draw order a sequential run uses) and
+// evaluated through the tracker's batch path, so any workers value yields
+// bit-identical results.
+func (c CEM) Minimize(rng *rand.Rand, dim int, obj Objective, budget, workers int) (*Result, error) {
 	if err := validateArgs(dim, budget, obj); err != nil {
 		return nil, err
 	}
@@ -62,14 +65,26 @@ func (c CEM) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Resu
 		value float64
 	}
 	samples := make([]sample, pop)
+	for s := range samples {
+		samples[s].theta = make([]float64, dim)
+	}
+	thetas := make([][]float64, pop)
+	values := make([]float64, pop)
 	for tr.evals+pop <= budget {
+		// Draw the whole generation first (the rng sequence is exactly the
+		// interleaved draw-evaluate order of a sequential run, because the
+		// objective never consumes this rng), then evaluate it as a batch.
 		for s := 0; s < pop; s++ {
-			theta := make([]float64, dim)
+			theta := samples[s].theta
 			for i := range theta {
 				theta[i] = mean[i] + std[i]*rng.NormFloat64()
 			}
 			clamp01(theta)
-			samples[s] = sample{theta: theta, value: tr.evaluate(theta)}
+			thetas[s] = theta
+		}
+		tr.evaluateBatch(thetas, values, workers)
+		for s := 0; s < pop; s++ {
+			samples[s].value = values[s]
 		}
 		sort.Slice(samples, func(a, b int) bool { return samples[a].value < samples[b].value })
 		for i := 0; i < dim; i++ {

@@ -6,7 +6,14 @@ import (
 
 // DE implements Differential Evolution (Storn & Price, the paper's [71];
 // Table 8: population 10, mutation step 0.2, recombination rate 0.7) in the
-// DE/rand/1/bin variant.
+// generational DE/rand/1/bin variant: every generation's trials are built
+// from the population as it stood at the start of the generation, evaluated
+// as one batch, and the acceptances applied afterwards in agent order —
+// which is what lets trials evaluate concurrently with results that are
+// bit-identical for any workers value. (Before the batch restructure this
+// implementation was steady-state — each acceptance was visible to the
+// trials built after it within the same generation — so per-seed outputs
+// changed with the restructure; the convergence contracts are unaffected.)
 type DE struct {
 	// Population is the number of agents (Table 8: 10).
 	Population int
@@ -20,7 +27,7 @@ type DE struct {
 func (DE) Name() string { return "de" }
 
 // Minimize implements Optimizer.
-func (d DE) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+func (d DE) Minimize(rng *rand.Rand, dim int, obj Objective, budget, workers int) (*Result, error) {
 	if err := validateArgs(dim, budget, obj); err != nil {
 		return nil, err
 	}
@@ -52,11 +59,23 @@ func (d DE) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Resul
 			theta[i] = rng.Float64()
 		}
 		agents[s] = theta
-		values[s] = tr.evaluate(theta)
 	}
-	trial := make([]float64, dim)
+	tr.evaluateBatch(agents, values, workers)
+	trials := make([][]float64, pop)
+	for s := range trials {
+		trials[s] = make([]float64, dim)
+	}
+	tvals := make([]float64, pop)
 	for tr.evals < budget {
-		for s := 0; s < pop && tr.evals < budget; s++ {
+		gen := pop
+		if rem := budget - tr.evals; rem < gen {
+			gen = rem
+		}
+		// Build every trial of the generation from the generation-start
+		// population, then evaluate the batch and apply acceptances in
+		// agent order.
+		for s := 0; s < gen; s++ {
+			trial := trials[s]
 			// Pick three distinct agents different from s.
 			a, b, c := s, s, s
 			for a == s {
@@ -77,10 +96,12 @@ func (d DE) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Resul
 				}
 			}
 			clamp01(trial)
-			v := tr.evaluate(trial)
-			if v <= values[s] {
-				copy(agents[s], trial)
-				values[s] = v
+		}
+		tr.evaluateBatch(trials[:gen], tvals[:gen], workers)
+		for s := 0; s < gen; s++ {
+			if tvals[s] <= values[s] {
+				copy(agents[s], trials[s])
+				values[s] = tvals[s]
 			}
 		}
 	}

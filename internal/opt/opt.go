@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,8 +55,19 @@ type Optimizer interface {
 	// Name identifies the algorithm (e.g. "cem").
 	Name() string
 	// Minimize runs the search. budget is the maximum number of objective
-	// evaluations.
-	Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error)
+	// evaluations; workers bounds how many candidates of one generation are
+	// evaluated concurrently (values <= 1 run fully sequentially).
+	//
+	// Determinism contract: every optimizer draws its candidates from rng
+	// in a fixed order that never depends on workers, and folds evaluation
+	// results (the evaluation counter, the best-so-far trace, population
+	// updates) in candidate order — so Theta, Value, Evaluations and the
+	// Trace are bit-identical for every workers value. With workers > 1 the
+	// objective must be safe for concurrent calls and independent of
+	// evaluation order; objectives that derive a private rng stream per
+	// evaluation (recovery.Algorithm1's Monte-Carlo objective) satisfy
+	// both, objectives that share one mutable rng do not.
+	Minimize(rng *rand.Rand, dim int, obj Objective, budget, workers int) (*Result, error)
 }
 
 // tracker accumulates evaluations and the best-so-far trace.
@@ -73,6 +86,15 @@ func newTracker(obj Objective) *tracker {
 
 func (t *tracker) evaluate(theta []float64) float64 {
 	v := t.obj(theta)
+	t.fold(theta, v)
+	return v
+}
+
+// fold accounts one evaluation result: it advances the evaluation counter
+// and updates the best-so-far trace. Batch evaluation folds in candidate
+// order, which is what keeps parallel results bit-identical to sequential
+// ones (TracePoint.Elapsed is wall-clock and exempt from that contract).
+func (t *tracker) fold(theta []float64, v float64) {
 	t.evals++
 	if v < t.bestValue {
 		t.bestValue = v
@@ -83,7 +105,42 @@ func (t *tracker) evaluate(theta []float64) float64 {
 			Best:        v,
 		})
 	}
-	return v
+}
+
+// evaluateBatch evaluates one generation's candidates, writing values into
+// out (sized to len(thetas)) and folding them into the tracker in candidate
+// order. workers bounds the concurrent objective calls; any value yields
+// bit-identical tracker state because candidates are pre-drawn and the fold
+// is sequential in index order.
+func (t *tracker) evaluateBatch(thetas [][]float64, out []float64, workers int) {
+	if workers > len(thetas) {
+		workers = len(thetas)
+	}
+	if workers <= 1 {
+		for i, theta := range thetas {
+			out[i] = t.evaluate(theta)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(thetas) {
+					return
+				}
+				out[i] = t.obj(thetas[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, theta := range thetas {
+		t.fold(theta, out[i])
+	}
 }
 
 func (t *tracker) result() *Result {
@@ -145,18 +202,33 @@ type RandomSearch struct{}
 // Name implements Optimizer.
 func (RandomSearch) Name() string { return "random" }
 
+// randomSearchChunk is the generation size of RandomSearch: candidates are
+// drawn and evaluated in fixed-size chunks, so the rng draw order — and
+// therefore the result — is independent of the workers value.
+const randomSearchChunk = 64
+
 // Minimize implements Optimizer.
-func (RandomSearch) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+func (RandomSearch) Minimize(rng *rand.Rand, dim int, obj Objective, budget, workers int) (*Result, error) {
 	if err := validateArgs(dim, budget, obj); err != nil {
 		return nil, err
 	}
 	tr := newTracker(obj)
-	theta := make([]float64, dim)
-	for e := 0; e < budget; e++ {
-		for i := range theta {
-			theta[i] = rng.Float64()
+	thetas := make([][]float64, randomSearchChunk)
+	for i := range thetas {
+		thetas[i] = make([]float64, dim)
+	}
+	values := make([]float64, randomSearchChunk)
+	for tr.evals < budget {
+		n := budget - tr.evals
+		if n > randomSearchChunk {
+			n = randomSearchChunk
 		}
-		tr.evaluate(theta)
+		for s := 0; s < n; s++ {
+			for i := range thetas[s] {
+				thetas[s][i] = rng.Float64()
+			}
+		}
+		tr.evaluateBatch(thetas[:n], values[:n], workers)
 	}
 	return tr.result(), nil
 }

@@ -43,7 +43,7 @@ func TestOptimizersFindSphereMinimum(t *testing.T) {
 		o := o
 		t.Run(o.Name(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(1))
-			res, err := o.Minimize(rng, 2, sphere(center), 400)
+			res, err := o.Minimize(rng, 2, sphere(center), 400, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,7 +65,7 @@ func TestOptimizersRespectBudget(t *testing.T) {
 			calls++
 			return theta[0]
 		}
-		res, err := o.Minimize(rng, 1, obj, 50)
+		res, err := o.Minimize(rng, 1, obj, 50, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", o.Name(), err)
 		}
@@ -84,7 +84,7 @@ func TestOptimizersHandleNoise(t *testing.T) {
 	center := []float64{0.6}
 	for _, o := range []Optimizer{CEM{Population: 30}, DE{}} {
 		rng := rand.New(rand.NewSource(3))
-		res, err := o.Minimize(rng, 1, noisySphere(center, 0.01, rng), 600)
+		res, err := o.Minimize(rng, 1, noisySphere(center, 0.01, rng), 600, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func TestOptimizersHandleNoise(t *testing.T) {
 func TestTraceMonotone(t *testing.T) {
 	for _, o := range allOptimizers() {
 		rng := rand.New(rand.NewSource(4))
-		res, err := o.Minimize(rng, 2, sphere([]float64{0.5, 0.5}), 200)
+		res, err := o.Minimize(rng, 2, sphere([]float64{0.5, 0.5}), 200, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,13 +118,13 @@ func TestTraceMonotone(t *testing.T) {
 func TestValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for _, o := range allOptimizers() {
-		if _, err := o.Minimize(rng, 0, sphere([]float64{0.5}), 100); err == nil {
+		if _, err := o.Minimize(rng, 0, sphere([]float64{0.5}), 100, 1); err == nil {
 			t.Errorf("%s: dim 0 should fail", o.Name())
 		}
-		if _, err := o.Minimize(rng, 1, nil, 100); err == nil {
+		if _, err := o.Minimize(rng, 1, nil, 100, 1); err == nil {
 			t.Errorf("%s: nil objective should fail", o.Name())
 		}
-		if _, err := o.Minimize(rng, 1, sphere([]float64{0.5}), 1); err == nil {
+		if _, err := o.Minimize(rng, 1, sphere([]float64{0.5}), 1, 1); err == nil {
 			t.Errorf("%s: budget 1 should fail", o.Name())
 		}
 	}
@@ -144,7 +144,7 @@ func TestThetaWithinBoundsProperty(t *testing.T) {
 			return theta[0]
 		}
 		for _, o := range allOptimizers() {
-			if _, err := o.Minimize(rng, 3, obj, 60); err != nil {
+			if _, err := o.Minimize(rng, 3, obj, 60, 1); err != nil {
 				return false
 			}
 		}

@@ -29,8 +29,10 @@ type SPSA struct {
 // Name implements Optimizer.
 func (SPSA) Name() string { return "spsa" }
 
-// Minimize implements Optimizer.
-func (s SPSA) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Result, error) {
+// Minimize implements Optimizer. SPSA's natural batch is the (theta+,
+// theta-) perturbation pair of each iteration: both evaluate concurrently
+// when workers > 1, with results bit-identical to sequential evaluation.
+func (s SPSA) Minimize(rng *rand.Rand, dim int, obj Objective, budget, workers int) (*Result, error) {
 	if err := validateArgs(dim, budget, obj); err != nil {
 		return nil, err
 	}
@@ -65,6 +67,8 @@ func (s SPSA) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Res
 	plus := make([]float64, dim)
 	minus := make([]float64, dim)
 	delta := make([]float64, dim)
+	pair := [][]float64{plus, minus}
+	pairVals := make([]float64, 2)
 	for r := 0; r < restarts && tr.evals < budget; r++ {
 		for i := range theta {
 			theta[i] = rng.Float64()
@@ -86,8 +90,8 @@ func (s SPSA) Minimize(rng *rand.Rand, dim int, obj Objective, budget int) (*Res
 			}
 			clamp01(plus)
 			clamp01(minus)
-			yPlus := tr.evaluate(plus)
-			yMinus := tr.evaluate(minus)
+			tr.evaluateBatch(pair, pairVals, workers)
+			yPlus, yMinus := pairVals[0], pairVals[1]
 			for i := range theta {
 				g := (yPlus - yMinus) / (2 * ck * delta[i])
 				theta[i] -= ak * g

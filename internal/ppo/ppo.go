@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
+	"tolerance/internal/dist"
 	"tolerance/internal/nn"
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/opt"
@@ -50,6 +53,12 @@ type Config struct {
 	Hidden, Layers int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds how many rollout episodes of one iteration are played
+	// concurrently (0 defaults to GOMAXPROCS, 1 is fully sequential). Each
+	// episode draws from its own rng stream derived from (Seed, iteration,
+	// episode index) and episodes are folded into the batch in episode
+	// order, so training is bit-identical for any workers value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,7 +95,38 @@ func (c Config) withDefaults() Config {
 	if c.Layers <= 0 {
 		c.Layers = 2
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// Stream tags for splitStream: rollout episodes and policy evaluations
+// draw from disjoint derived streams, so neither can shift the other.
+const (
+	episodeStreamTag = 0x9e70
+	evalStreamTag    = 0xe7a1
+)
+
+// splitStream derives a decorrelated rng seed from the training seed, a
+// stream tag and a sequence index with the shared SplitMix64 finalizer
+// (the same mix the fleet engine uses for per-scenario seeds). Episode
+// streams depend only on (seed, iteration, episode index) — never on
+// scheduling — which is what makes parallel rollout collection
+// deterministic.
+func splitStream(seed int64, tag, k uint64) int64 {
+	return int64(dist.SplitMix64(uint64(seed)*dist.GoldenGamma + tag*0xbf58476d1ce4e5b9 + k + 1))
+}
+
+// episodeRng returns the dedicated rng stream of one rollout episode.
+func episodeRng(seed int64, iter, episode int) *rand.Rand {
+	return rand.New(rand.NewSource(splitStream(seed, episodeStreamTag,
+		uint64(iter)<<32|uint64(uint32(episode)))))
+}
+
+// evalRng returns the dedicated rng stream of one policy evaluation.
+func evalRng(seed int64, iter int) *rand.Rand {
+	return rand.New(rand.NewSource(splitStream(seed, evalStreamTag, uint64(iter))))
 }
 
 // Policy is a trained PPO policy; it implements recovery.Strategy with a
@@ -137,6 +177,12 @@ type Result struct {
 // Train runs PPO on the node-recovery environment and returns the policy.
 // Cancelling ctx aborts training between rollout/update cycles and returns
 // the context's error.
+//
+// Randomness is stream-split: the base seed initializes the networks, every
+// rollout episode draws from its own stream derived from (seed, iteration,
+// episode index), and every policy evaluation from a per-iteration
+// evaluation stream. Config.Workers therefore parallelizes rollout
+// collection without changing a single output bit.
 func Train(ctx context.Context, params nodemodel.Params, cfg Config) (*Result, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -176,12 +222,12 @@ func Train(ctx context.Context, params nodemodel.Params, cfg Config) (*Result, e
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		batch := collectRollout(rng, params, policy, cfg)
+		batch := collectRollout(params, policy, cfg, iter)
 		if err := update(policyNet, valueNet, policyOpt, valueOpt, batch, cfg); err != nil {
 			return nil, err
 		}
 		evals += len(batch.obs)
-		cost := evaluatePolicy(rng, params, policy, cfg)
+		cost := evaluatePolicy(evalRng(cfg.Seed, iter), params, policy, cfg)
 		if cost < best {
 			best = cost
 			res.Trace = append(res.Trace, opt.TracePoint{
@@ -191,7 +237,7 @@ func Train(ctx context.Context, params nodemodel.Params, cfg Config) (*Result, e
 			})
 		}
 	}
-	res.Cost = evaluatePolicy(rng, params, policy, cfg)
+	res.Cost = evaluatePolicy(evalRng(cfg.Seed, cfg.Iterations), params, policy, cfg)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -208,12 +254,63 @@ type rollout struct {
 	returns    []float64
 }
 
-// collectRollout gathers StepsPerIteration decision steps from fresh
-// episodes of the node environment (same dynamics as recovery.Evaluate).
-func collectRollout(rng *rand.Rand, params nodemodel.Params, policy *Policy, cfg Config) *rollout {
+// absorb appends another rollout's decision steps, preserving episode
+// boundaries (the terminal flags).
+func (b *rollout) absorb(ep *rollout) {
+	b.obs = append(b.obs, ep.obs...)
+	b.actions = append(b.actions, ep.actions...)
+	b.logProbs = append(b.logProbs, ep.logProbs...)
+	b.rewards = append(b.rewards, ep.rewards...)
+	b.values = append(b.values, ep.values...)
+	b.terminal = append(b.terminal, ep.terminal...)
+}
+
+// collectRollout gathers at least StepsPerIteration decision steps from
+// fresh episodes of the node environment (same dynamics as
+// recovery.Evaluate). Episodes are independent — each plays on its own rng
+// stream — and are folded into the batch strictly in episode-index order
+// until the step quota is met, so the batch is the same whether episodes
+// were played sequentially or speculatively on cfg.Workers goroutines
+// (surplus speculative episodes are discarded).
+func collectRollout(params nodemodel.Params, policy *Policy, cfg Config, iter int) *rollout {
 	b := &rollout{}
+	next := 0
+	if cfg.Workers <= 1 {
+		for len(b.obs) < cfg.StepsPerIteration {
+			runPPOEpisode(episodeRng(cfg.Seed, iter, next), params, policy, cfg, b)
+			next++
+		}
+		return b
+	}
+	waveBuf := make([]*rollout, cfg.Workers)
 	for len(b.obs) < cfg.StepsPerIteration {
-		runPPOEpisode(rng, params, policy, cfg, b)
+		// Every episode contributes at least one decision step, so at most
+		// `need` more episodes can be used — don't speculate beyond that.
+		// The wave size depends only on the (deterministic) batch length,
+		// and the folded episodes are always the index prefix that meets
+		// the quota, so the batch stays bit-identical for any Workers.
+		wave := waveBuf
+		if need := cfg.StepsPerIteration - len(b.obs); need < len(wave) {
+			wave = wave[:need]
+		}
+		var wg sync.WaitGroup
+		for w := range wave {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ep := &rollout{}
+				runPPOEpisode(episodeRng(cfg.Seed, iter, next+w), params, policy, cfg, ep)
+				wave[w] = ep
+			}(w)
+		}
+		wg.Wait()
+		next += len(wave)
+		for _, ep := range wave {
+			if len(b.obs) >= cfg.StepsPerIteration {
+				break
+			}
+			b.absorb(ep)
+		}
 	}
 	return b
 }

@@ -115,3 +115,46 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("defaults wrong: %+v", c)
 	}
 }
+
+// TestTrainWorkersBitIdentical is the parallel-rollout determinism
+// contract: PPO trains exactly the same policy for any Workers value,
+// because episodes play on per-episode rng streams derived from (seed,
+// iteration, episode index) and fold into the batch in episode order.
+func TestTrainWorkersBitIdentical(t *testing.T) {
+	params := nodemodel.DefaultParams()
+	run := func(workers int) *Result {
+		res, err := Train(context.Background(), params, Config{
+			DeltaR:            15,
+			Iterations:        3,
+			StepsPerIteration: 128,
+			Horizon:           60,
+			Hidden:            8,
+			Layers:            2,
+			Seed:              6,
+			Workers:           workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	probePoints := []struct {
+		belief float64
+		pos    int
+	}{{0.05, 1}, {0.3, 5}, {0.7, 10}, {0.95, 14}}
+	for _, workers := range []int{2, 8} {
+		res := run(workers)
+		if res.Cost != base.Cost {
+			t.Errorf("workers=%d: cost %v != sequential %v", workers, res.Cost, base.Cost)
+		}
+		for _, pt := range probePoints {
+			got := res.Policy.Probabilities(pt.belief, pt.pos)
+			want := base.Policy.Probabilities(pt.belief, pt.pos)
+			if got[0] != want[0] || got[1] != want[1] {
+				t.Errorf("workers=%d: probabilities(%v, %d) = %v != %v",
+					workers, pt.belief, pt.pos, got, want)
+			}
+		}
+	}
+}

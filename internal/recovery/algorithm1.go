@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/opt"
@@ -29,6 +30,13 @@ type Algorithm1Config struct {
 	Horizon int
 	// Seed drives both the optimizer and the simulation noise.
 	Seed int64
+	// Workers bounds how many of a generation's candidate strategies
+	// evaluate concurrently (0 defaults to GOMAXPROCS, 1 is fully
+	// sequential). Every candidate's Monte-Carlo evaluation draws from its
+	// own rng stream derived from the training seed and results fold in
+	// candidate order, so the learned strategy is bit-identical for any
+	// workers value.
+	Workers int
 }
 
 func (c Algorithm1Config) validate() error {
@@ -44,6 +52,9 @@ func (c Algorithm1Config) validate() error {
 	if c.Episodes < 1 || c.Horizon < 1 {
 		return fmt.Errorf("%w: episodes = %d, horizon = %d",
 			ErrBadAlgorithm1Config, c.Episodes, c.Horizon)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: workers = %d", ErrBadAlgorithm1Config, c.Workers)
 	}
 	return nil
 }
@@ -78,7 +89,10 @@ func Algorithm1(ctx context.Context, p nodemodel.Params, cfg Algorithm1Config) (
 	simCfg := SimConfig{Episodes: cfg.Episodes, Horizon: cfg.Horizon, DeltaR: cfg.DeltaR}
 
 	// A fixed evaluation seed per theta (common random numbers) reduces the
-	// variance of comparisons between candidate strategies.
+	// variance of comparisons between candidate strategies. Every objective
+	// call builds its own rng stream from that seed, which also makes the
+	// objective safe for the optimizer's concurrent batch evaluation: no
+	// candidate's draws can shift another's.
 	evalSeed := cfg.Seed + 1
 	objective := func(theta []float64) float64 {
 		if ctx.Err() != nil {
@@ -97,8 +111,12 @@ func Algorithm1(ctx context.Context, p nodemodel.Params, cfg Algorithm1Config) (
 		return m.AvgCost
 	}
 
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	searchRng := rand.New(rand.NewSource(cfg.Seed))
-	res, err := cfg.Optimizer.Minimize(searchRng, dim, objective, cfg.Budget)
+	res, err := cfg.Optimizer.Minimize(searchRng, dim, objective, cfg.Budget, workers)
 	if err != nil {
 		return nil, fmt.Errorf("recovery: algorithm 1 (%s): %w", cfg.Optimizer.Name(), err)
 	}

@@ -426,3 +426,53 @@ func TestSolveStationaryFixedPoint(t *testing.T) {
 			sol2.AvgCost, sol.AvgCost, sol2.Thresholds[0], sol.Thresholds[0])
 	}
 }
+
+// TestAlgorithm1WorkersBitIdentical is the parallel-training determinism
+// contract: Algorithm 1 learns exactly the same strategy — thresholds,
+// cost, evaluation count — for any Workers value, because candidates
+// evaluate on per-candidate rng streams derived from the training seed and
+// fold in candidate order.
+func TestAlgorithm1WorkersBitIdentical(t *testing.T) {
+	p := nodemodel.DefaultParams()
+	for _, po := range []opt.Optimizer{opt.CEM{Population: 20}, opt.DE{}, opt.SPSA{}} {
+		po := po
+		t.Run(po.Name(), func(t *testing.T) {
+			run := func(workers int) *Algorithm1Result {
+				res, err := Algorithm1(context.Background(), p, Algorithm1Config{
+					DeltaR:    15,
+					Optimizer: po,
+					Budget:    60,
+					Episodes:  5,
+					Horizon:   40,
+					Seed:      4,
+					Workers:   workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			base := run(1)
+			for _, workers := range []int{2, 8} {
+				res := run(workers)
+				if res.Cost != base.Cost {
+					t.Errorf("workers=%d: cost %v != sequential %v", workers, res.Cost, base.Cost)
+				}
+				if res.Search.Evaluations != base.Search.Evaluations {
+					t.Errorf("workers=%d: evaluations %d != %d", workers,
+						res.Search.Evaluations, base.Search.Evaluations)
+				}
+				if len(res.Strategy.Thresholds) != len(base.Strategy.Thresholds) {
+					t.Fatalf("workers=%d: threshold dim %d != %d", workers,
+						len(res.Strategy.Thresholds), len(base.Strategy.Thresholds))
+				}
+				for i := range res.Strategy.Thresholds {
+					if res.Strategy.Thresholds[i] != base.Strategy.Thresholds[i] {
+						t.Errorf("workers=%d: threshold[%d] = %v != %v", workers, i,
+							res.Strategy.Thresholds[i], base.Strategy.Thresholds[i])
+					}
+				}
+			}
+		})
+	}
+}

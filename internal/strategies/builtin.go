@@ -172,6 +172,7 @@ func (s learnedStrategy) config(spec Spec) recovery.Algorithm1Config {
 		Episodes:  spec.Episodes,
 		Horizon:   spec.Horizon,
 		Seed:      spec.Seed,
+		Workers:   spec.Workers,
 	}
 	if cfg.Budget <= 0 {
 		cfg.Budget = DefaultBudget
@@ -227,6 +228,7 @@ func (ppoStrategy) config(spec Spec) ppo.Config {
 		Iterations: spec.Iterations,
 		Horizon:    spec.Horizon,
 		Seed:       spec.Seed,
+		Workers:    spec.Workers,
 	}
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = DefaultIterations

@@ -54,6 +54,11 @@ type Spec struct {
 	// Budget, Episodes and Horizon tune Algorithm 1 training; Iterations
 	// tunes PPO. Zero selects the package defaults.
 	Budget, Episodes, Horizon, Iterations int
+	// Workers bounds the concurrent candidate/rollout evaluations of a
+	// learned strategy's training run (0 defaults to GOMAXPROCS). It is a
+	// throughput knob, not an identity input: training is bit-identical for
+	// any value, so Workers is deliberately excluded from fingerprints.
+	Workers int
 }
 
 // Solvers is the memoized control-problem interface strategies build on.

@@ -52,7 +52,11 @@ func WithBudget(n int) Option {
 	return func(o *options) { o.budget = n }
 }
 
-// WithWorkers bounds the fleet worker pool (default min(GOMAXPROCS, 8)).
+// WithWorkers bounds the parallelism of a v2 call (default GOMAXPROCS):
+// the fleet worker pool for RunSuite/StreamSuite, and the concurrent
+// candidate/rollout evaluations of Solve's learned methods (the Algorithm 1
+// optimizers and PPO). Results are bit-identical for any value — the knob
+// trades wall-clock for cores, never output.
 func WithWorkers(n int) Option {
 	return func(o *options) { o.workers = n }
 }

@@ -165,6 +165,9 @@ func solveRecovery(ctx context.Context, pr RecoveryProblem, o options) (*Solutio
 	if seed == 0 {
 		seed = 1
 	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("%w: workers %d", ErrBadInput, o.workers)
+	}
 	switch method {
 	case MethodDP:
 		sol, err := recovery.SolveDP(params, recovery.DPConfig{DeltaR: pr.DeltaR})
@@ -183,6 +186,7 @@ func solveRecovery(ctx context.Context, pr RecoveryProblem, o options) (*Solutio
 			DeltaR:     pr.DeltaR,
 			Iterations: o.budget, // zero keeps the ppo default
 			Seed:       seed,
+			Workers:    o.workers, // zero defaults to GOMAXPROCS
 		})
 		if err != nil {
 			return nil, err
@@ -212,6 +216,7 @@ func solveRecovery(ctx context.Context, pr RecoveryProblem, o options) (*Solutio
 			Episodes:  50, // Table 8: M = 50
 			Horizon:   200,
 			Seed:      seed,
+			Workers:   o.workers, // zero defaults to GOMAXPROCS
 		})
 		if err != nil {
 			return nil, err
