@@ -6,6 +6,10 @@
 //
 // Experiment IDs: fig4 fig5 fig6a fig6b table2 fig9 fig11 fig13 fig14 fig15
 // fig16 fig18 table7.
+//
+// -metrics-addr serves the HTTP introspection endpoint (/metrics,
+// /debug/vars, /debug/pprof/*) while experiments run — handy for profiling
+// a long -full regeneration. Telemetry never writes to stdout.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"tolerance/internal/pomdp"
 	"tolerance/internal/profiling"
 	"tolerance/internal/recovery"
+	"tolerance/internal/telemetry"
 )
 
 func main() {
@@ -32,7 +37,17 @@ func main() {
 	full := flag.Bool("full", false, "use larger budgets")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8417; empty = off)")
 	flag.Parse()
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, telemetry.New())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tolerance-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tolerance-bench:", err)

@@ -35,9 +35,17 @@
 //
 // Output is deterministic: the same suite and seed produce byte-identical
 // results for any -workers value, and merging a complete shard set
-// reproduces the unsharded output byte-for-byte. Strategy-cache statistics
-// go to stderr (they depend on how a run is partitioned; stdout carries
-// only deterministic quantities).
+// reproduces the unsharded output byte-for-byte. Telemetry — the progress
+// meter, the post-run summary, -metrics-addr and -manifest — travels on
+// side channels only (stderr, the manifest file, the HTTP endpoint); stdout
+// carries only deterministic quantities, so suite output is byte-identical
+// with telemetry on or off.
+//
+// Introspection:
+//
+//	tolerance-fleet -suite paper-grid -metrics-addr :8417       # curl /metrics, /debug/pprof/heap
+//	tolerance-fleet -suite paper-grid -manifest run.json        # run manifest trailer
+//	tolerance-fleet -suite paper-grid -checkpoint r.jsonl       # + implicit r.jsonl.manifest.json
 package main
 
 import (
@@ -50,12 +58,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"syscall"
 
 	"tolerance/internal/fleet"
 	"tolerance/internal/profiling"
 	"tolerance/internal/strategies"
+	"tolerance/internal/telemetry"
 )
 
 func main() {
@@ -82,8 +92,10 @@ func run() (retErr error) {
 	resume := flag.Bool("resume", false, "load the -checkpoint file first and skip scenarios it already holds")
 	merge := flag.Bool("merge", false, "fold the shard/checkpoint files given as arguments into the full-suite result and print it")
 	format := flag.String("format", "table", "output format: table | json | csv")
-	quiet := flag.Bool("quiet", false, "suppress the progress meter and cache statistics on stderr")
+	quiet := flag.Bool("quiet", false, "suppress the progress meter and telemetry summary on stderr")
 	noFitCache := flag.Bool("no-fit-cache", false, "refit Ẑ inside every scenario instead of once per suite (diagnostic; output is identical)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live telemetry on this address: /metrics (JSON snapshot), /debug/vars, /debug/pprof/* (\":0\" picks a free port, printed to stderr)")
+	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file (\"-\" = stderr; defaults to <checkpoint>.manifest.json when -checkpoint is set)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -97,6 +109,18 @@ func run() (retErr error) {
 			retErr = perr
 		}
 	}()
+
+	// Telemetry is always collected (recording is allocation-free and all
+	// reporting stays off stdout); -metrics-addr additionally serves it live.
+	col := telemetry.New()
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, col)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
 
 	switch {
 	case *list:
@@ -115,7 +139,7 @@ func run() (retErr error) {
 		}
 		return nil
 	case *merge:
-		return runMerge(flag.Args(), *format)
+		return runMerge(flag.Args(), *format, col, *manifestPath, *quiet)
 	}
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v (shard files are only accepted with -merge)", flag.Args())
@@ -186,14 +210,21 @@ func run() (retErr error) {
 	}
 
 	cache := fleet.NewStrategyCache()
-	cfg := fleet.Config{Workers: *workers, Cache: cache, Shard: shard, NoFitCache: *noFitCache}
+	cache.Instrument(col)
+	cfg := fleet.Config{
+		Workers: *workers, Cache: cache, Shard: shard,
+		NoFitCache: *noFitCache, Telemetry: col,
+	}
 	if !*quiet {
+		// The meter throttles itself to ~10 Hz wall-clock, so the engine's
+		// per-fold callback does not turn into thousands of stderr writes a
+		// second on fast grids.
+		meter := telemetry.NewMeter(os.Stderr)
+		meter.Extra = func() string { return cacheHitRate(cache.Stats()) }
 		cfg.Progress = func(done, total int) {
-			if done%10 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "\r%d/%d scenarios", done, total)
-				if done == total {
-					fmt.Fprintln(os.Stderr)
-				}
+			meter.Progress(done, total)
+			if done == total {
+				meter.Finish()
 			}
 		}
 	}
@@ -231,6 +262,7 @@ func run() (retErr error) {
 				writer.Close()
 			}
 		}()
+		writer.Instrument(col)
 		cfg.OnRecord = writer.Append
 	}
 
@@ -245,6 +277,7 @@ func run() (retErr error) {
 		stopSignals()
 	}()
 
+	manifest := telemetry.NewManifest()
 	res, err := fleet.Run(ctx, suite, cfg)
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
@@ -259,16 +292,75 @@ func run() (retErr error) {
 		writer = nil
 	}
 	if !*quiet {
-		stats := cache.Stats()
-		fmt.Fprintf(os.Stderr, "strategy cache: %d policies built (%d recovery + %d replication solves + %d fits), %d hits\n",
-			stats.PolicyBuilds, stats.RecoverySolves, stats.ReplicationSolves, stats.FitSolves,
-			stats.PolicyHits+stats.RecoveryHits+stats.ReplicationHits+stats.FitHits)
+		printSummary(os.Stderr, col.Snapshot())
+	}
+	mp := *manifestPath
+	if mp == "" && *checkpoint != "" {
+		mp = *checkpoint + ".manifest.json"
+	}
+	if mp != "" {
+		manifest.Suite = suite.Name
+		manifest.Fingerprint = suite.Fingerprint()
+		manifest.Seed = suite.Seed
+		manifest.Shard = shard.String()
+		manifest.Scenarios = res.Scenarios
+		manifest.Workers = *workers
+		if manifest.Workers <= 0 {
+			manifest.Workers = runtime.GOMAXPROCS(0)
+		}
+		manifest.Finish(col)
+		if err := manifest.WriteFile(mp); err != nil {
+			return err
+		}
+		if !*quiet && mp != "-" {
+			fmt.Fprintf(os.Stderr, "manifest: %s\n", mp)
+		}
 	}
 	return writeResult(os.Stdout, res, *format)
 }
 
+// cacheHitRate renders the strategy cache's hit rate for the meter line
+// ("" until there have been any requests).
+func cacheHitRate(stats fleet.CacheStats) string {
+	hits := stats.PolicyHits + stats.RecoveryHits + stats.ReplicationHits + stats.FitHits
+	misses := stats.PolicyBuilds + stats.RecoverySolves + stats.ReplicationSolves + stats.FitSolves
+	if hits+misses == 0 {
+		return ""
+	}
+	return fmt.Sprintf("cache %.0f%% hit", 100*float64(hits)/float64(hits+misses))
+}
+
+// printSummary reports the run's headline numbers from the telemetry
+// snapshot — the single source of truth the manifest and /metrics read
+// too, so -quiet, -merge and resume runs can never disagree with it.
+func printSummary(w io.Writer, s telemetry.Snapshot) {
+	folded := s.Counter(fleet.MetricScenariosFolded)
+	replayed := s.Counter(fleet.MetricScenariosReplayed)
+	line := fmt.Sprintf("telemetry: %d scenarios folded", folded)
+	if replayed > 0 {
+		line += fmt.Sprintf(" (%d replayed from checkpoint)", replayed)
+	}
+	for _, p := range s.Phases {
+		if p.Name == "fleet.run" && p.Seconds > 0 {
+			line += fmt.Sprintf(", %.0f scenarios/s", float64(folded-replayed)/p.Seconds)
+			break
+		}
+	}
+	builds := s.Counter("cache.policy_builds")
+	solves := s.Counter("cache.recovery_solves") + s.Counter("cache.replication_solves") +
+		s.Counter("cache.fit_solves")
+	hits := s.Counter("cache.policy_hits") + s.Counter("cache.recovery_hits") +
+		s.Counter("cache.replication_hits") + s.Counter("cache.fit_hits")
+	line += fmt.Sprintf("; strategy cache: %d policies built, %d solves, %d hits", builds, solves, hits)
+	fmt.Fprintln(w, line)
+}
+
 // runMerge folds a complete shard set back into the single-machine result.
-func runMerge(paths []string, format string) error {
+// Merged records count as replayed folds on the collector, so the summary
+// and an optional -manifest report through the same snapshot a live run
+// uses.
+func runMerge(paths []string, format string, col *telemetry.Collector, manifestPath string, quiet bool) error {
+	manifest := telemetry.NewManifest()
 	suite, records, err := fleet.ReadShardSet(paths)
 	if err != nil {
 		return err
@@ -276,6 +368,21 @@ func runMerge(paths []string, format string) error {
 	res, err := fleet.MergeRecords(suite, records)
 	if err != nil {
 		return err
+	}
+	col.Counter(fleet.MetricScenariosFolded).Add(0, int64(len(records)))
+	col.Counter(fleet.MetricScenariosReplayed).Add(0, int64(len(records)))
+	if !quiet {
+		printSummary(os.Stderr, col.Snapshot())
+	}
+	if manifestPath != "" {
+		manifest.Suite = suite.Name
+		manifest.Fingerprint = suite.Fingerprint()
+		manifest.Seed = suite.Seed
+		manifest.Scenarios = res.Scenarios
+		manifest.Finish(col)
+		if err := manifest.WriteFile(manifestPath); err != nil {
+			return err
+		}
 	}
 	return writeResult(os.Stdout, res, format)
 }

@@ -6,6 +6,10 @@
 //	tolerance-sim -n1 6 -deltar 15 -steps 1000 -policy TOLERANCE
 //	tolerance-sim -n1 3 -policy NO-RECOVERY -seeds 20
 //	tolerance-sim -n1 6 -policy learned:cem
+//
+// -metrics-addr serves live telemetry (training progress for learned
+// policies) over HTTP: /metrics, /debug/vars and /debug/pprof/*. Telemetry
+// never writes to stdout and never changes the printed metrics.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"tolerance/internal/fleet"
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/strategies"
+	"tolerance/internal/telemetry"
 )
 
 func main() {
@@ -48,7 +53,18 @@ func run() error {
 	pa := flag.Float64("pa", 0.1, "per-step compromise probability")
 	epsa := flag.Float64("epsa", 0.9, "availability bound for replication")
 	trainSeed := flag.Int64("train-seed", 1, "training seed for learned policies")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8417; empty = off)")
 	flag.Parse()
+
+	col := telemetry.New()
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, col)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
 
 	// First Ctrl-C cancels learned-policy training; releasing the handler
 	// lets a second Ctrl-C force-kill.
@@ -75,14 +91,15 @@ func run() error {
 			name, strings.Join(strategies.Names(), ", "))
 	}
 	policy, err := strat.Policy(ctx, strategies.Spec{
-		Params:   params,
-		N1:       *n1,
-		SMax:     smax,
-		F:        f,
-		K:        1,
-		DeltaR:   *deltaR,
-		EpsilonA: *epsa,
-		Seed:     *trainSeed,
+		Params:    params,
+		N1:        *n1,
+		SMax:      smax,
+		F:         f,
+		K:         1,
+		DeltaR:    *deltaR,
+		EpsilonA:  *epsa,
+		Seed:      *trainSeed,
+		Telemetry: telemetry.NewTraining(col),
 	}, fleet.NewStrategyCache())
 	if err != nil {
 		return err

@@ -6,6 +6,11 @@
 //	tolerance-solve -problem recovery -method ppo -budget 20
 //	tolerance-solve -problem replication -smax 13 -f 2 -epsa 0.9 -q 0.95
 //
+// -metrics-addr serves live training telemetry (optimizer evaluations,
+// best objective so far, PPO iteration costs) over HTTP while a learned
+// solve runs: /metrics (JSON), /debug/vars (expvar) and /debug/pprof/*.
+// Telemetry never writes to stdout and never changes the solve result.
+//
 // Ctrl-C cancels an in-flight solve.
 package main
 
@@ -42,7 +47,18 @@ func run() error {
 	f := flag.Int("f", 2, "tolerance threshold (Problem 2)")
 	epsa := flag.Float64("epsa", 0.9, "availability bound epsilon_A (Problem 2)")
 	q := flag.Float64("q", 0.95, "per-step node health probability (Problem 2)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8417; empty = off)")
 	flag.Parse()
+
+	tel := tolerance.NewTelemetry()
+	if *metricsAddr != "" {
+		addr, closeSrv, err := tel.Serve(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer closeSrv()
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", addr)
+	}
 
 	// First Ctrl-C cancels the solve (honored between training stages and
 	// objective evaluations); releasing the handler lets a second Ctrl-C
@@ -58,7 +74,8 @@ func run() error {
 	case "recovery":
 		model := tolerance.NodeModel{PA: *pa, PC1: *pc1, PC2: *pc2, PU: *pu, Eta: *eta}
 		sol, err := tolerance.Solve(ctx, tolerance.RecoveryProblem{Model: model, DeltaR: *deltaR},
-			tolerance.WithMethod(*method), tolerance.WithBudget(*budget), tolerance.WithSeed(*seed))
+			tolerance.WithMethod(*method), tolerance.WithBudget(*budget), tolerance.WithSeed(*seed),
+			tolerance.WithTelemetry(tel))
 		if err != nil {
 			return err
 		}

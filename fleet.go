@@ -170,6 +170,10 @@ func RunSuite(ctx context.Context, ref SuiteRef, opts ...Option) (*FleetReport, 
 		NoFitCache: o.noFitCache,
 		Progress:   o.progress,
 	}
+	if o.telemetry != nil {
+		cfg.Telemetry = o.telemetry.collector()
+		cache.Instrument(cfg.Telemetry)
+	}
 	if len(o.records) > 0 {
 		cells := suite.Cells()
 		handlers := o.records

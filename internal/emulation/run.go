@@ -286,11 +286,21 @@ func (r *runner) spawn(id, phase int) *simNode {
 // streams) from the grid hot path. Results are bit-identical to Run: reset
 // reproduces exactly the state a fresh runner would start with.
 type Runner struct {
-	run runner
+	run   runner
+	onRun func(steps int)
 }
 
 // NewRunner returns an empty reusable runner; the first RunInto sizes it.
 func NewRunner() *Runner { return &Runner{} }
+
+// OnRun installs a completion observer: after every successful RunInto the
+// runner calls fn with the number of simulated steps (post-default, so the
+// real count). The observer is for telemetry only — it runs after the
+// scenario's randomness is fully consumed, receives no simulation state,
+// and must not retain references; metrics are unchanged whether one is
+// installed or not. The call itself is allocation-free, preserving the
+// warm-runner zero-alloc guarantee.
+func (r *Runner) OnRun(fn func(steps int)) { r.onRun = fn }
 
 // RunInto executes the scenario on the reusable runner and returns the
 // metrics by value (no per-run allocation).
@@ -307,6 +317,9 @@ func RunInto(r *Runner, s Scenario) (Metrics, error) {
 	}
 	for t := 1; t <= run.s.Steps; t++ {
 		run.step(t)
+	}
+	if r.onRun != nil {
+		r.onRun(run.s.Steps)
 	}
 	return *run.finish(), nil
 }

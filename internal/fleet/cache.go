@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tolerance/internal/baselines"
 	"tolerance/internal/cmdp"
@@ -17,6 +18,7 @@ import (
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/recovery"
 	"tolerance/internal/strategies"
+	"tolerance/internal/telemetry"
 )
 
 // CacheStats counts solves (cache misses that ran a solver) and hits
@@ -95,6 +97,64 @@ type StrategyCache struct {
 	fitHits           atomic.Int64
 	policyBuilds      atomic.Int64
 	policyHits        atomic.Int64
+
+	// tel is the attached telemetry bundle (nil until Instrument). It is an
+	// atomic pointer so attaching never contends with the lock-free hot
+	// paths, and a cache shared across runs can be re-instrumented.
+	tel atomic.Pointer[cacheTelemetry]
+}
+
+// cacheTelemetry holds the cache's registered telemetry handles.
+type cacheTelemetry struct {
+	// training is injected into Spec.Telemetry so learned-strategy builds
+	// report optimizer/PPO progress.
+	training *telemetry.Training
+	// waits counts single-flight waits: requests that found another
+	// goroutine's computation in flight and blocked for its result.
+	waits *telemetry.Counter
+	// fitNS, solveNS and buildNS time the offline Ẑ fits, the control-
+	// problem solves (DP + LP) and the policy constructions (including
+	// learned training runs).
+	fitNS, solveNS, buildNS *telemetry.Histogram
+}
+
+// Instrument attaches the cache to a collector: the existing hit/solve
+// counters join snapshots as counter funcs (one source of truth — the
+// counters are not double-tracked), and single-flight waits plus per-build
+// solve/fit/train durations are recorded under cache.*. Telemetry is a pure
+// observer: cache contents, keys and results are identical with or without
+// it. Instrumenting an already instrumented cache rebinds it to the new
+// collector.
+func (c *StrategyCache) Instrument(col *telemetry.Collector) {
+	if col == nil {
+		return
+	}
+	col.CounterFunc("cache.recovery_solves", c.recoverySolves.Load)
+	col.CounterFunc("cache.recovery_hits", c.recoveryHits.Load)
+	col.CounterFunc("cache.replication_solves", c.replicationSolves.Load)
+	col.CounterFunc("cache.replication_hits", c.replicationHits.Load)
+	col.CounterFunc("cache.fit_solves", c.fitSolves.Load)
+	col.CounterFunc("cache.fit_hits", c.fitHits.Load)
+	col.CounterFunc("cache.policy_builds", c.policyBuilds.Load)
+	col.CounterFunc("cache.policy_hits", c.policyHits.Load)
+	c.tel.Store(&cacheTelemetry{
+		training: telemetry.NewTraining(col),
+		waits:    col.Counter("cache.singleflight_waits"),
+		fitNS:    col.Histogram("cache.fit_build_ns", telemetry.DurationBuckets()),
+		solveNS:  col.Histogram("cache.solve_ns", telemetry.DurationBuckets()),
+		buildNS:  col.Histogram("cache.policy_build_ns", telemetry.DurationBuckets()),
+	})
+}
+
+// noteWait counts a single-flight wait when the entry a hit landed on is
+// still being computed by another goroutine.
+func (c *StrategyCache) noteWait(inFlight bool) {
+	if !inFlight {
+		return
+	}
+	if t := c.tel.Load(); t != nil {
+		t.waits.Inc(0)
+	}
 }
 
 // StrategyCache implements the solver interface strategies build on.
@@ -147,10 +207,16 @@ func (c *StrategyCache) Fits(samples int, fitSeed int64) (*emulation.FitSet, err
 
 	if ok {
 		c.fitHits.Add(1)
+		c.noteWait(!entry.done.Load())
 	}
 	return entry.compute(func() (*emulation.FitSet, error) {
 		c.fitSolves.Add(1)
-		return emulation.NewFitSet(samples, fitSeed)
+		start := time.Now()
+		fs, err := emulation.NewFitSet(samples, fitSeed)
+		if t := c.tel.Load(); t != nil {
+			t.fitNS.Observe(0, int64(time.Since(start)))
+		}
+		return fs, err
 	})
 }
 
@@ -171,10 +237,16 @@ func (c *StrategyCache) Recovery(p nodemodel.Params, cfg recovery.DPConfig) (*re
 
 	if ok {
 		c.recoveryHits.Add(1)
+		c.noteWait(!entry.done.Load())
 	}
 	return entry.compute(func() (*recovery.DPSolution, error) {
 		c.recoverySolves.Add(1)
-		return recovery.SolveDP(p, cfg)
+		start := time.Now()
+		sol, err := recovery.SolveDP(p, cfg)
+		if t := c.tel.Load(); t != nil {
+			t.solveNS.Observe(0, int64(time.Since(start)))
+		}
+		return sol, err
 	})
 }
 
@@ -207,6 +279,7 @@ func (c *StrategyCache) ReplicationFor(p nodemodel.Params, rec recovery.Strategy
 
 	if ok {
 		c.replicationHits.Add(1)
+		c.noteWait(!entry.done.Load())
 	}
 	return entry.compute(func() (*cmdp.Solution, error) {
 		rng := rand.New(rand.NewSource(seedFromKey(key)))
@@ -240,7 +313,12 @@ func (c *StrategyCache) solveLP(model *cmdp.Model) (*cmdp.Solution, error) {
 	// which goroutine wins the race into compute.
 	return entry.compute(func() (*cmdp.Solution, error) {
 		c.replicationSolves.Add(1)
-		return cmdp.Solve(model)
+		start := time.Now()
+		sol, err := cmdp.Solve(model)
+		if t := c.tel.Load(); t != nil {
+			t.solveNS.Observe(0, int64(time.Since(start)))
+		}
+		return sol, err
 	})
 }
 
@@ -274,10 +352,24 @@ func (c *StrategyCache) PolicyFor(ctx context.Context, cell Cell, suite Suite) (
 
 	if cached {
 		c.policyHits.Add(1)
+		c.noteWait(!entry.done.Load())
 	}
 	pol, err := entry.compute(func() (baselines.Policy, error) {
 		c.policyBuilds.Add(1)
-		return strat.Policy(ctx, spec, c)
+		t := c.tel.Load()
+		if t != nil {
+			// Learned strategies report optimizer/PPO progress through the
+			// injected training sink. The sink is excluded from fingerprints
+			// (like Workers) and observes training strictly from outside the
+			// rng path, so the built policy is identical with or without it.
+			spec.Telemetry = t.training
+		}
+		start := time.Now()
+		pol, err := strat.Policy(ctx, spec, c)
+		if t != nil {
+			t.buildNS.Observe(0, int64(time.Since(start)))
+		}
+		return pol, err
 	})
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		// A cancelled construction must not poison a shared cache: evict
@@ -320,6 +412,7 @@ func (c *StrategyCache) scenarioFor(ctx context.Context, suiteFP string, cell *C
 			return sc, nil
 		}
 		c.policyHits.Add(1)
+		c.noteWait(!entry.done.Load())
 	}
 	sc, err := entry.compute(func() (emulation.Scenario, error) {
 		policy, err := c.PolicyFor(ctx, *cell, suite)

@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tolerance/internal/dist"
 	"tolerance/internal/emulation"
+	"tolerance/internal/telemetry"
 )
 
 // Config tunes one fleet execution.
@@ -50,6 +52,15 @@ type Config struct {
 	// fold (index) order — the checkpoint write hook. An error aborts the
 	// run.
 	OnRecord func(RunRecord) error
+	// Telemetry, when set, receives the run's live metrics (fleet.* —
+	// scenario starts/folds, batch claims, duration and step histograms,
+	// worker busy time — plus the fleet.fit/fleet.run phase timings).
+	// Telemetry is recorded strictly outside the rng and fold paths and is
+	// allocation-free in steady state, so the Result — and the per-scenario
+	// zero-allocation property — is byte-identical with or without it. To
+	// include the strategy-cache statistics in the same snapshot, also call
+	// Cache.Instrument with this collector.
+	Telemetry *telemetry.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -185,13 +196,30 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	// training phase). A run whose scheduled work is entirely replayed from
 	// records never fits at all. With NoFitCache every scenario refits
 	// inline from the same seed (diagnostic; byte-identical output).
+	tm := newFleetMetrics(cfg.Telemetry)
+	if tm != nil {
+		cfg.Telemetry.Gauge(MetricScenariosTotal).Set(float64(total))
+		cfg.Telemetry.Gauge(MetricWorkers).Set(float64(cfg.Workers))
+	}
+
 	fitSeed := emulation.FitStreamSeed(suite.Seed)
 	var fits *emulation.FitSet
 	if !cfg.NoFitCache && len(cfg.Completed) < total {
+		var endFit func()
+		if tm != nil {
+			endFit = cfg.Telemetry.Phase("fleet.fit")
+		}
 		var err error
 		if fits, err = cfg.Cache.Fits(suite.FitSamples, fitSeed); err != nil {
 			return nil, err
 		}
+		if endFit != nil {
+			endFit()
+		}
+	}
+	if tm != nil {
+		endRun := cfg.Telemetry.Phase("fleet.run")
+		defer endRun()
 	}
 
 	// Per-run cell execution state: each scheduled cell resolves its policy
@@ -220,13 +248,19 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wid int) {
 			defer wg.Done()
 			runner := emulation.NewRunner()
+			if tm != nil {
+				runner.OnRun(func(steps int) { tm.steps.Observe(wid, int64(steps)) })
+			}
 			for ctx.Err() == nil {
 				bi := int(nextBatch.Add(1)) - 1
 				if bi >= numBatches {
 					return
+				}
+				if tm != nil {
+					tm.batches.Inc(wid)
 				}
 				start := bi * batch
 				end := min(start+batch, total)
@@ -260,7 +294,20 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 							sc.Seed = scenarioSeed(suite.Seed, idx)
 							sc.FitSeed = fitSeed
 							sc.Fits = fits
-							oc.metrics, oc.err = runner.RunInto(sc)
+							if tm == nil {
+								oc.metrics, oc.err = runner.RunInto(sc)
+							} else {
+								// Timing wraps the run from outside: the
+								// scenario's rng streams are seeded purely
+								// from (suite seed, index) above, so the
+								// clock reads cannot perturb results.
+								tm.started.Inc(wid)
+								t0 := time.Now()
+								oc.metrics, oc.err = runner.RunInto(sc)
+								d := int64(time.Since(t0))
+								tm.busyNS.Add(wid, d)
+								tm.durNS.Observe(wid, d)
+							}
 						}
 					}
 					br.outs = append(br.outs, oc)
@@ -277,7 +324,7 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		wg.Wait()
@@ -319,6 +366,14 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 				oc := &b.outs[i]
 				accs[oc.cell].Add(&oc.metrics)
 				next++
+				if tm != nil {
+					// The aggregator is a single goroutine; shard 0 is its
+					// dedicated cell.
+					tm.folded.Inc(0)
+					if !oc.fresh {
+						tm.replayed.Inc(0)
+					}
+				}
 				if oc.fresh && cfg.OnRecord != nil {
 					if err := cfg.OnRecord(RunRecord{Index: oc.index, Cell: oc.cell, Metrics: oc.metrics}); err != nil {
 						firstErr = fmt.Errorf("fleet: record scenario %d: %w", oc.index, err)

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"tolerance/internal/emulation"
+	"tolerance/internal/telemetry"
 )
 
 // RunRecord is one completed scenario: its global index in the suite's
@@ -187,6 +188,16 @@ type CheckpointWriter struct {
 	zw       *gzip.Writer // nil for plain files
 	enc      *json.Encoder
 	unsynced int
+	syncs    *telemetry.Counter // nil until Instrument
+}
+
+// Instrument counts the writer's fsync batches on the collector
+// (fleet.checkpoint_syncs). Pure observer: the file contents and sync
+// cadence are identical with or without it.
+func (c *CheckpointWriter) Instrument(col *telemetry.Collector) {
+	if col != nil {
+		c.syncs = col.Counter(MetricCheckpointSyncs)
+	}
 }
 
 // newCheckpointWriter assembles the encode→(gzip)→buffer→file pipeline.
@@ -330,6 +341,9 @@ func (c *CheckpointWriter) writeLine(v any) error {
 
 func (c *CheckpointWriter) sync() error {
 	c.unsynced = 0
+	if c.syncs != nil {
+		c.syncs.Inc(0)
+	}
 	if c.zw != nil {
 		if err := c.zw.Flush(); err != nil {
 			return fmt.Errorf("fleet: checkpoint: %w", err)

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"tolerance/internal/telemetry"
+)
+
+// Fleet metric names. Counters are recorded per worker shard from the
+// worker pool (scenario starts, batch claims, busy time) or from the
+// single aggregator goroutine (folds, replays); histograms observe each
+// executed scenario's wall-clock and step count.
+const (
+	// MetricScenariosStarted counts scenario executions begun by workers.
+	MetricScenariosStarted = "fleet.scenarios_started"
+	// MetricScenariosFolded counts scenarios folded by the aggregator — the
+	// reconciliation anchor: at the end of a successful run it equals the
+	// scheduled total.
+	MetricScenariosFolded = "fleet.scenarios_folded"
+	// MetricScenariosReplayed counts folds served from checkpoint records
+	// instead of fresh execution (resume runs).
+	MetricScenariosReplayed = "fleet.scenarios_replayed"
+	// MetricBatchesClaimed counts work batches claimed by workers.
+	MetricBatchesClaimed = "fleet.batches_claimed"
+	// MetricWorkerBusyNS accumulates nanoseconds workers spent executing
+	// scenarios; busy/(workers×wall) is the pool utilization.
+	MetricWorkerBusyNS = "fleet.worker_busy_ns"
+	// MetricCheckpointSyncs counts checkpoint fsync batches.
+	MetricCheckpointSyncs = "fleet.checkpoint_syncs"
+	// MetricScenarioDurationNS is the per-scenario wall-clock histogram.
+	MetricScenarioDurationNS = "fleet.scenario_duration_ns"
+	// MetricScenarioSteps is the per-scenario simulated-step histogram.
+	MetricScenarioSteps = "fleet.scenario_steps"
+	// MetricScenariosTotal (gauge) is the scheduled scenario count.
+	MetricScenariosTotal = "fleet.scenarios_total"
+	// MetricWorkers (gauge) is the worker-pool size of the run.
+	MetricWorkers = "fleet.workers"
+)
+
+// stepBuckets covers the suite step-count range (smoke suites run tens of
+// steps, the paper grid a thousand, stress configurations more).
+var stepBuckets = []int64{50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// fleetMetrics bundles the engine's per-run metric handles. A nil
+// *fleetMetrics is the disabled state: every record site nil-checks it, so
+// an uninstrumented run touches no telemetry code beyond that check.
+type fleetMetrics struct {
+	started  *telemetry.Counter
+	folded   *telemetry.Counter
+	replayed *telemetry.Counter
+	batches  *telemetry.Counter
+	busyNS   *telemetry.Counter
+	durNS    *telemetry.Histogram
+	steps    *telemetry.Histogram
+}
+
+// newFleetMetrics registers the engine metrics, returning nil for a nil
+// collector (telemetry disabled).
+func newFleetMetrics(col *telemetry.Collector) *fleetMetrics {
+	if col == nil {
+		return nil
+	}
+	return &fleetMetrics{
+		started:  col.Counter(MetricScenariosStarted),
+		folded:   col.Counter(MetricScenariosFolded),
+		replayed: col.Counter(MetricScenariosReplayed),
+		batches:  col.Counter(MetricBatchesClaimed),
+		busyNS:   col.Counter(MetricWorkerBusyNS),
+		durNS:    col.Histogram(MetricScenarioDurationNS, telemetry.DurationBuckets()),
+		steps:    col.Histogram(MetricScenarioSteps, stepBuckets),
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/opt"
 	"tolerance/internal/recovery"
+	"tolerance/internal/telemetry"
 )
 
 // ErrBadConfig is returned for invalid training configurations.
@@ -59,6 +60,11 @@ type Config struct {
 	// episode index) and episodes are folded into the batch in episode
 	// order, so training is bit-identical for any workers value.
 	Workers int
+	// Telemetry, when set, receives one observation per rollout/update
+	// cycle (iteration count + the evaluation cost). It is a pure observer
+	// attached outside the rng path: the trained policy is bit-identical
+	// with or without it.
+	Telemetry *telemetry.Training
 }
 
 func (c Config) withDefaults() Config {
@@ -228,6 +234,7 @@ func Train(ctx context.Context, params nodemodel.Params, cfg Config) (*Result, e
 		}
 		evals += len(batch.obs)
 		cost := evaluatePolicy(evalRng(cfg.Seed, iter), params, policy, cfg)
+		cfg.Telemetry.ObserveIteration(cost)
 		if cost < best {
 			best = cost
 			res.Trace = append(res.Trace, opt.TracePoint{

@@ -9,6 +9,7 @@ import (
 
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/opt"
+	"tolerance/internal/telemetry"
 )
 
 // ErrBadAlgorithm1Config is returned for invalid Algorithm 1 configurations.
@@ -37,6 +38,11 @@ type Algorithm1Config struct {
 	// candidate order, so the learned strategy is bit-identical for any
 	// workers value.
 	Workers int
+	// Telemetry, when set, receives one observation per objective
+	// evaluation (count + best-so-far). It is a pure observer attached
+	// outside the rng/fold path: the learned strategy is bit-identical with
+	// or without it.
+	Telemetry *telemetry.Training
 }
 
 func (c Algorithm1Config) validate() error {
@@ -109,6 +115,10 @@ func Algorithm1(ctx context.Context, p nodemodel.Params, cfg Algorithm1Config) (
 			return 1e9
 		}
 		return m.AvgCost
+	}
+
+	if cfg.Telemetry != nil {
+		objective = opt.Instrument(objective, cfg.Telemetry.ObserveEval)
 	}
 
 	workers := cfg.Workers

@@ -173,6 +173,7 @@ func (s learnedStrategy) config(spec Spec) recovery.Algorithm1Config {
 		Horizon:   spec.Horizon,
 		Seed:      spec.Seed,
 		Workers:   spec.Workers,
+		Telemetry: spec.Telemetry,
 	}
 	if cfg.Budget <= 0 {
 		cfg.Budget = DefaultBudget
@@ -229,6 +230,7 @@ func (ppoStrategy) config(spec Spec) ppo.Config {
 		Horizon:    spec.Horizon,
 		Seed:       spec.Seed,
 		Workers:    spec.Workers,
+		Telemetry:  spec.Telemetry,
 	}
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = DefaultIterations

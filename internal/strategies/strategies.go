@@ -26,6 +26,7 @@ import (
 	"tolerance/internal/cmdp"
 	"tolerance/internal/nodemodel"
 	"tolerance/internal/recovery"
+	"tolerance/internal/telemetry"
 )
 
 // ErrUnknownStrategy is returned when a name is not in the registry.
@@ -59,6 +60,11 @@ type Spec struct {
 	// throughput knob, not an identity input: training is bit-identical for
 	// any value, so Workers is deliberately excluded from fingerprints.
 	Workers int
+	// Telemetry, when set, receives coarse training progress (objective
+	// evaluations, best-so-far, PPO iterations) from learned strategies'
+	// construction. Like Workers it is a pure observer, not an identity
+	// input, and is deliberately excluded from fingerprints.
+	Telemetry *telemetry.Training
 }
 
 // Solvers is the memoized control-problem interface strategies build on.

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarCollector is the collector /debug/vars reads; the expvar registry
+// is process-global and an expvar name can only be published once, so the
+// published Func indirects through this pointer and the most recently
+// served collector wins.
+var expvarCollector atomic.Pointer[Collector]
+
+var expvarOnce sync.Once
+
+func publishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			if c := expvarCollector.Load(); c != nil {
+				return c.Snapshot()
+			}
+			return Snapshot{}
+		}))
+	})
+}
+
+// Handler returns the introspection mux for a collector:
+//
+//	/metrics          indented JSON Snapshot
+//	/debug/vars       the expvar registry (includes "telemetry")
+//	/debug/pprof/*    the standard pprof handlers
+//
+// Handlers only read; serving one has no effect on run output.
+func Handler(c *Collector) http.Handler {
+	expvarCollector.Store(c)
+	publishExpvar()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live introspection endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection endpoint on addr (":0" picks a free
+// port — read the bound address back with Addr). The server runs until
+// Close; serve errors after Close are discarded.
+func Serve(addr string, c *Collector) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(c)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr is the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// meterInterval throttles meter redraws to ~10 Hz: an 11.5k scenarios/s
+// run otherwise turns the per-fold progress callback into 11.5k stderr
+// writes per second.
+const meterInterval = 100 * time.Millisecond
+
+// Meter is a single-line, wall-clock-throttled progress display for fleet
+// runs: done/total, percentage, overall scenarios/s, ETA, plus an optional
+// caller-supplied suffix (cache-hit rate). It writes only to the writer it
+// was given (stderr in the CLIs) — never stdout — so it cannot perturb
+// suite output.
+//
+// Progress is the fleet engine's callback; it is invoked from the
+// aggregator goroutine only, so Meter needs no locking.
+type Meter struct {
+	w     io.Writer
+	start time.Time
+	last  time.Time
+	width int
+	// Extra, when set, is appended to each drawn line (e.g. "cache 87% hit").
+	Extra func() string
+}
+
+// NewMeter starts a meter writing to w.
+func NewMeter(w io.Writer) *Meter {
+	now := time.Now()
+	return &Meter{w: w, start: now}
+}
+
+// Progress draws the meter line if at least meterInterval elapsed since the
+// previous draw (the final scenario always draws, so the line ends exact).
+func (m *Meter) Progress(done, total int) {
+	now := time.Now()
+	if done != total && now.Sub(m.last) < meterInterval {
+		return
+	}
+	m.last = now
+
+	elapsed := now.Sub(m.start).Seconds()
+	var rate float64
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	line := fmt.Sprintf("\r%d/%d scenarios (%.0f%%)", done, total, pct(done, total))
+	if rate > 0 {
+		line += fmt.Sprintf("  %.0f/s", rate)
+		if done < total {
+			eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+			line += "  ETA " + fmtETA(eta)
+		}
+	}
+	if m.Extra != nil {
+		if s := m.Extra(); s != "" {
+			line += "  " + s
+		}
+	}
+	// Pad over the previous, possibly longer, line before the cursor rests.
+	if n := len(line); n < m.width {
+		line += strings.Repeat(" ", m.width-n)
+	} else {
+		m.width = n
+	}
+	fmt.Fprint(m.w, line)
+}
+
+// Finish terminates the meter line with a newline.
+func (m *Meter) Finish() {
+	fmt.Fprintln(m.w)
+}
+
+func pct(done, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return 100 * float64(done) / float64(total)
+}
+
+// fmtETA renders a duration as a compact ETA (s under a minute, m+s under
+// an hour, h+m beyond).
+func fmtETA(d time.Duration) string {
+	d = d.Round(time.Second)
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}

@@ -25,6 +25,7 @@ type options struct {
 	noFitCache   bool
 	progress     func(done, total int)
 	records      []func(ScenarioRecord) error
+	telemetry    *Telemetry
 }
 
 func collectOptions(opts []Option) options {

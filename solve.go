@@ -10,7 +10,18 @@ import (
 	"tolerance/internal/opt"
 	"tolerance/internal/ppo"
 	"tolerance/internal/recovery"
+	"tolerance/internal/telemetry"
 )
+
+// trainingSink registers a training-progress sink on the attached
+// collector, or nil when no telemetry is attached (the training loops
+// accept nil and skip recording).
+func trainingSink(t *Telemetry) *telemetry.Training {
+	if t == nil {
+		return nil
+	}
+	return telemetry.NewTraining(t.collector())
+}
 
 // Problem is one of the paper's two control problems; RecoveryProblem and
 // ReplicationProblem are the implementations.
@@ -187,6 +198,7 @@ func solveRecovery(ctx context.Context, pr RecoveryProblem, o options) (*Solutio
 			Iterations: o.budget, // zero keeps the ppo default
 			Seed:       seed,
 			Workers:    o.workers, // zero defaults to GOMAXPROCS
+			Telemetry:  trainingSink(o.telemetry),
 		})
 		if err != nil {
 			return nil, err
@@ -217,6 +229,7 @@ func solveRecovery(ctx context.Context, pr RecoveryProblem, o options) (*Solutio
 			Horizon:   200,
 			Seed:      seed,
 			Workers:   o.workers, // zero defaults to GOMAXPROCS
+			Telemetry: trainingSink(o.telemetry),
 		})
 		if err != nil {
 			return nil, err

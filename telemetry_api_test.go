@@ -1,0 +1,103 @@
+package tolerance
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestWithTelemetrySuiteInvariant: attaching telemetry to RunSuite must not
+// change the report, and the snapshot must reconcile with it.
+func TestWithTelemetrySuiteInvariant(t *testing.T) {
+	ctx := context.Background()
+	plain, err := RunSuite(ctx, SuiteByName("smoke"), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry()
+	instrumented, err := RunSuite(ctx, SuiteByName("smoke"), WithWorkers(4), WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Errorf("telemetry changed the report:\nplain: %+v\ninstr: %+v", plain, instrumented)
+	}
+	s := tel.Snapshot()
+	if got := s.Counters["fleet.scenarios_folded"]; got != int64(instrumented.Scenarios) {
+		t.Errorf("fleet.scenarios_folded = %d, want %d", got, instrumented.Scenarios)
+	}
+	if got := s.Counters["cache.policy_builds"]; got < 1 {
+		t.Errorf("cache.policy_builds = %d, want >= 1 (cache instrumented through the facade)", got)
+	}
+	if s.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v, want > 0", s.UptimeSeconds)
+	}
+}
+
+// TestWithTelemetrySolve: a learned solve reports training progress.
+func TestWithTelemetrySolve(t *testing.T) {
+	tel := NewTelemetry()
+	_, err := Solve(context.Background(),
+		RecoveryProblem{Model: DefaultNodeModel(), DeltaR: 15},
+		WithMethod(OptimizerRandom), WithBudget(8), WithSeed(3), WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tel.Snapshot()
+	if got := s.Counters["training.evals"]; got < 8 {
+		t.Errorf("training.evals = %d, want >= 8 (the budget)", got)
+	}
+	if _, ok := s.Gauges["training.best_objective"]; !ok {
+		t.Error("training.best_objective gauge missing after a learned solve")
+	}
+}
+
+// TestTelemetryHandlerServesSnapshot: the facade handler serves the JSON
+// snapshot at /metrics in the public TelemetrySnapshot schema.
+func TestTelemetryHandlerServesSnapshot(t *testing.T) {
+	tel := NewTelemetry()
+	if _, err := RunSuite(context.Background(), SuiteByName("smoke"),
+		WithWorkers(2), WithTelemetry(tel)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap TelemetrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["fleet.scenarios_folded"] < 1 {
+		t.Error("/metrics snapshot missing fleet.scenarios_folded")
+	}
+	if _, ok := snap.Histograms["fleet.scenario_duration_ns"]; !ok {
+		t.Error("/metrics snapshot missing the scenario-duration histogram")
+	}
+}
+
+// TestTelemetryServeLifecycle: Serve binds, answers, and shuts down.
+func TestTelemetryServeLifecycle(t *testing.T) {
+	tel := NewTelemetry()
+	addr, closeSrv, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	if err := closeSrv(); err != nil {
+		t.Fatal(err)
+	}
+}
