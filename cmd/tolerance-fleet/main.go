@@ -33,6 +33,18 @@
 //	tolerance-fleet -suite-file grid.json -checkpoint run.jsonl.gz          # compressed records
 //	tolerance-fleet -suite learned-smoke -learned-workers 8                 # parallel training
 //
+// Distributed runs — one coordinator owns the suite and leases
+// index-contiguous scenario ranges to workers over TCP; workers need no
+// suite file (it travels in the handshake). Leases from workers that stop
+// heartbeating are re-leased, so worker crashes cost bounded rework; a
+// coordinator crash resumes from its checkpoint. The merged stdout is
+// byte-identical to a single-machine run of the same suite (see
+// docs/OPERATIONS.md for the runbook):
+//
+//	tolerance-fleet -serve :7001 -suite-file grid.json -checkpoint run.jsonl
+//	tolerance-fleet -connect hostA:7001 -workers 8                          # each machine
+//	tolerance-fleet -connect hostA:7001 -listen 0.0.0.0:7002 -advertise hostB:7002
+//
 // Output is deterministic: the same suite and seed produce byte-identical
 // results for any -workers value, and merging a complete shard set
 // reproduces the unsharded output byte-for-byte. Telemetry — the progress
@@ -66,6 +78,7 @@ import (
 	"tolerance/internal/profiling"
 	"tolerance/internal/strategies"
 	"tolerance/internal/telemetry"
+	"tolerance/internal/transport"
 )
 
 func main() {
@@ -88,6 +101,13 @@ func run() (retErr error) {
 	fitSamples := flag.Int("fit", 0, "override Ẑ-estimation samples (0 = suite default)")
 	learnedWorkers := flag.Int("learned-workers", 0, "concurrent evaluations inside each learned:* training run (0 = suite value, else GOMAXPROCS); output is bit-identical for any value")
 	shardSpec := flag.String("shard", "", "run only shard i of n (\"i/n\"); requires -checkpoint to keep the shard's records")
+	serveAddr := flag.String("serve", "", "run as the fleet coordinator: listen on this address (e.g. \":7001\"), lease scenario ranges to -connect workers, and print the merged result")
+	connectAddr := flag.String("connect", "", "run as a remote fleet worker for the coordinator at this host:port; the suite arrives over the wire")
+	listenAddr := flag.String("listen", "127.0.0.1:0", "worker bind address for coordinator replies (use a routable IP for cross-machine runs)")
+	advertiseAddr := flag.String("advertise", "", "worker address the coordinator should dial back (defaults to -listen's bound address; needed when binding 0.0.0.0 or behind NAT)")
+	leaseScenarios := flag.Int("lease", 0, "coordinator: scenarios per lease (0 = total/16 clamped to [1,256])")
+	heartbeat := flag.Duration("heartbeat", fleet.DefaultHeartbeat, "coordinator: worker keep-alive interval advertised in the handshake")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "coordinator: re-lease a worker's range after this long without heartbeats (0 = 5x -heartbeat)")
 	checkpoint := flag.String("checkpoint", "", "record completed scenarios to this file (JSONL; a .gz suffix gzips it, and -resume/-merge read .gz transparently); doubles as the shard result file")
 	resume := flag.Bool("resume", false, "load the -checkpoint file first and skip scenarios it already holds")
 	merge := flag.Bool("merge", false, "fold the shard/checkpoint files given as arguments into the full-suite result and print it")
@@ -140,6 +160,14 @@ func run() (retErr error) {
 		return nil
 	case *merge:
 		return runMerge(flag.Args(), *format, col, *manifestPath, *quiet)
+	case *connectAddr != "":
+		if *serveAddr != "" {
+			return fmt.Errorf("-serve and -connect are different roles; run them as separate processes")
+		}
+		if *checkpoint != "" || *shardSpec != "" || *resume || *suiteFile != "" || *dumpSuite != "" {
+			return fmt.Errorf("-connect workers take no suite or checkpoint flags; the coordinator owns both")
+		}
+		return runConnect(*connectAddr, *listenAddr, *advertiseAddr, *workers, col, *quiet)
 	}
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v (shard files are only accepted with -merge)", flag.Args())
@@ -198,6 +226,9 @@ func run() (retErr error) {
 
 	var shard fleet.Shard
 	if *shardSpec != "" {
+		if *serveAddr != "" {
+			return fmt.Errorf("-serve and -shard conflict: the coordinator always owns the whole suite and leases ranges itself")
+		}
 		if shard, err = fleet.ParseShard(*shardSpec); err != nil {
 			return err
 		}
@@ -278,7 +309,35 @@ func run() (retErr error) {
 	}()
 
 	manifest := telemetry.NewManifest()
-	res, err := fleet.Run(ctx, suite, cfg)
+	var res *fleet.Result
+	if *serveAddr != "" {
+		// Coordinator mode: same suite, checkpoint and resume wiring as a
+		// local run, but execution happens on -connect workers. On SIGINT
+		// the drain broadcast goes out before we return, and the checkpoint
+		// keeps the ingested index-ordered prefix for -resume.
+		ep, eperr := transport.ListenTCP(*serveAddr)
+		if eperr != nil {
+			return eperr
+		}
+		defer ep.Close()
+		ccfg := fleet.CoordinatorConfig{
+			Endpoint:       ep,
+			LeaseScenarios: *leaseScenarios,
+			Heartbeat:      *heartbeat,
+			LeaseTimeout:   *leaseTimeout,
+			Completed:      cfg.Completed,
+			OnRecord:       cfg.OnRecord,
+			Progress:       cfg.Progress,
+			Telemetry:      col,
+		}
+		if !*quiet {
+			ccfg.Logf = stderrLogf
+			fmt.Fprintf(os.Stderr, "coordinator: listening on %s\n", ep.Addr())
+		}
+		res, err = fleet.Coordinate(ctx, suite, ccfg)
+	} else {
+		res, err = fleet.Run(ctx, suite, cfg)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "interrupted: %s keeps the completed prefix; rerun with -resume\n", *checkpoint)
@@ -319,6 +378,66 @@ func run() (retErr error) {
 	return writeResult(os.Stdout, res, *format)
 }
 
+// runConnect runs the worker role: join the coordinator, execute leased
+// scenario ranges on the local pool, stream the records back, and exit on
+// drain. Ctrl-C drains gracefully — the completed prefix of the current
+// lease is already shipped, and a Goodbye lets the coordinator re-lease
+// the remainder immediately.
+func runConnect(coordAddr, listen, advertise string, workers int, col *telemetry.Collector, quiet bool) error {
+	ep, err := transport.ListenTCPAdvertise(listen, advertise)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals() // a second Ctrl-C force-kills
+	}()
+
+	cache := fleet.NewStrategyCache()
+	cache.Instrument(col)
+	wcfg := fleet.WorkerConfig{
+		Endpoint:    ep,
+		Coordinator: coordAddr,
+		Workers:     workers,
+		Cache:       cache,
+		Telemetry:   col,
+	}
+	if !quiet {
+		wcfg.Logf = stderrLogf
+		fmt.Fprintf(os.Stderr, "worker: %s -> coordinator %s\n", ep.Addr(), coordAddr)
+	}
+	err = fleet.ConnectWorker(ctx, wcfg)
+	switch {
+	case errors.Is(err, fleet.ErrDrained):
+		// The run was already complete when we arrived; not a failure.
+		if !quiet {
+			fmt.Fprintln(os.Stderr, "worker: coordinator had no work")
+		}
+		return nil
+	case errors.Is(err, context.Canceled):
+		if !quiet {
+			fmt.Fprintln(os.Stderr, "worker: interrupted; coordinator notified")
+		}
+		return nil
+	case err != nil:
+		return err
+	}
+	if !quiet {
+		printSummary(os.Stderr, col.Snapshot())
+	}
+	return nil
+}
+
+// stderrLogf is the coordinator/worker operational log sink: one line per
+// event on stderr, never stdout.
+func stderrLogf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // cacheHitRate renders the strategy cache's hit rate for the meter line
 // ("" until there have been any requests).
 func cacheHitRate(stats fleet.CacheStats) string {
@@ -346,12 +465,17 @@ func printSummary(w io.Writer, s telemetry.Snapshot) {
 			break
 		}
 	}
+	// Merge-only and fully-replayed resume runs never touch the strategy
+	// cache; a zero-valued cache line there would misread as "ran but
+	// solved nothing", so it is printed only when the cache saw traffic.
 	builds := s.Counter("cache.policy_builds")
 	solves := s.Counter("cache.recovery_solves") + s.Counter("cache.replication_solves") +
 		s.Counter("cache.fit_solves")
 	hits := s.Counter("cache.policy_hits") + s.Counter("cache.recovery_hits") +
 		s.Counter("cache.replication_hits") + s.Counter("cache.fit_hits")
-	line += fmt.Sprintf("; strategy cache: %d policies built, %d solves, %d hits", builds, solves, hits)
+	if builds+solves+hits > 0 {
+		line += fmt.Sprintf("; strategy cache: %d policies built, %d solves, %d hits", builds, solves, hits)
+	}
 	fmt.Fprintln(w, line)
 }
 

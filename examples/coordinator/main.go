@@ -1,0 +1,136 @@
+// Coordinator example: the distributed evaluation workflow end to end, in
+// one process — the same protocol `tolerance-fleet -serve` and `-connect`
+// speak across machines:
+//
+//  1. a coordinator takes ownership of a suite and listens on loopback TCP,
+//  2. two workers join over the wire, receive the suite definition in the
+//     Welcome handshake, and race for index-contiguous scenario leases,
+//  3. one worker is killed mid-run — by cancelling its context, exactly
+//     what Ctrl-C does — and the coordinator immediately re-leases its
+//     unfinished range to the survivor,
+//
+// and then verify the headline property: the merged result the coordinator
+// streams out is byte-identical to running the whole suite on one machine.
+//
+//	go run ./examples/coordinator
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"tolerance/internal/fleet"
+	"tolerance/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	suite := fleet.Suite{
+		Name:         "coordinator-demo",
+		Description:  "two attack rates x two system sizes, TOLERANCE vs PERIODIC",
+		Seed:         11,
+		SeedsPerCell: 2,
+		Steps:        150,
+		FitSamples:   400,
+		AttackRates:  []float64{0.05, 0.1},
+		N1s:          []int{3, 6},
+		Policies:     []fleet.PolicyKind{fleet.PolicyTolerance, fleet.PolicyPeriodic},
+	}
+
+	// The byte-identity baseline: the whole suite on one machine.
+	whole, err := fleet.Run(context.Background(), suite, fleet.Config{})
+	if err != nil {
+		return err
+	}
+	wholeJSON, _ := json.Marshal(whole)
+	fmt.Printf("suite %q: %d scenarios (fingerprint %s), single-machine reference computed\n",
+		suite.Name, suite.NumScenarios(), suite.Fingerprint())
+
+	// The coordinator's endpoint. Workers get their own — three TCP peers on
+	// loopback, exactly as three machines would look to each other.
+	coordEP, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer coordEP.Close()
+
+	ctx := context.Background()
+	// Worker 1 lives on its own cancellable context; cancelling it mid-run
+	// is the in-process stand-in for Ctrl-C on a worker machine.
+	w1ctx, killWorker1 := context.WithCancel(ctx)
+	defer killWorker1()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i, wctx := range []context.Context{w1ctx, ctx} {
+		ep, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ep.Close()
+		wg.Add(1)
+		go func(i int, wctx context.Context, ep *transport.TCPEndpoint) {
+			defer wg.Done()
+			label := i + 1
+			workerErrs[i] = fleet.ConnectWorker(wctx, fleet.WorkerConfig{
+				Endpoint:    ep,
+				Coordinator: coordEP.Addr(),
+				Workers:     2,
+				Logf: func(format string, args ...any) {
+					fmt.Printf("  worker%d: "+format+"\n", append([]any{label}, args...)...)
+				},
+			})
+		}(i, wctx, ep)
+	}
+
+	// Kill worker 1 deterministically: the Progress hook runs on the
+	// coordinator as the ordered ingest frontier advances, so cancelling at
+	// one third of the suite is guaranteed to land mid-run.
+	killAt := suite.NumScenarios() / 3
+	killed := false
+	res, err := fleet.Coordinate(ctx, suite, fleet.CoordinatorConfig{
+		Endpoint:       coordEP,
+		LeaseScenarios: 2,
+		Progress: func(done, total int) {
+			if !killed && done >= killAt {
+				killed = true
+				fmt.Printf("  -- killing worker1 at %d/%d scenarios --\n", done, total)
+				killWorker1()
+			}
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  coord: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil && !errors.Is(werr, context.Canceled) && !errors.Is(werr, fleet.ErrDrained) {
+			return fmt.Errorf("worker%d: %w", i+1, werr)
+		}
+	}
+
+	resJSON, _ := json.Marshal(res)
+	if string(resJSON) != string(wholeJSON) {
+		return fmt.Errorf("coordinator result differs from single-machine run")
+	}
+	fmt.Println("coordinator + 2 workers (one killed mid-run): byte-identical to the single-machine run")
+
+	fmt.Printf("\n%-12s %6s %10s %8s\n", "policy", "N1", "T(A)", "cost")
+	for _, c := range res.Cells {
+		fmt.Printf("%-12s %6d %10.3f %8.3f\n",
+			c.Cell.Policy, c.Cell.N1, c.Aggregate.Availability.Mean, c.Aggregate.Cost.Mean)
+	}
+	return nil
+}

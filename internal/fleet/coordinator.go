@@ -1,0 +1,551 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tolerance/internal/fleet/proto"
+	"tolerance/internal/telemetry"
+	"tolerance/internal/transport"
+)
+
+// Lease-protocol defaults. The coordinator advertises its heartbeat
+// interval and lease timeout in the Welcome message, so workers and
+// coordinator always agree on the cadence.
+const (
+	// DefaultHeartbeat is how often a worker heartbeats a held lease.
+	DefaultHeartbeat = 1 * time.Second
+	// defaultLeaseTimeoutBeats is the missed-heartbeat budget: a lease
+	// silent for this many heartbeat intervals is expired and re-leased.
+	defaultLeaseTimeoutBeats = 5
+	// maxLeaseScenarios caps the automatic lease size.
+	maxLeaseScenarios = 256
+)
+
+// CoordinatorConfig tunes one coordinator run (Coordinate).
+type CoordinatorConfig struct {
+	// Endpoint is the coordinator's listening transport endpoint. The
+	// caller owns it; Coordinate does not close it.
+	Endpoint transport.Endpoint
+	// LeaseScenarios is the number of scenarios per lease. Zero picks
+	// total/16 clamped to [1, 256] — small enough that a dead worker's
+	// lost work is bounded, large enough that lease traffic is negligible.
+	LeaseScenarios int
+	// Heartbeat is the keep-alive cadence advertised to workers (zero =
+	// DefaultHeartbeat).
+	Heartbeat time.Duration
+	// LeaseTimeout expires a lease with no heartbeat or record traffic for
+	// this long (zero = 5x Heartbeat). Its incomplete indices are
+	// re-leased to the next requesting worker.
+	LeaseTimeout time.Duration
+	// Completed holds records from an earlier (killed) coordinator run's
+	// checkpoint, keyed by scenario index; they fold as replays instead of
+	// being leased out again.
+	Completed map[int]RunRecord
+	// OnRecord, when set, receives every freshly ingested record in strict
+	// scenario-index order — the checkpoint write hook, identical in
+	// contract to Config.OnRecord. An error aborts the run.
+	OnRecord func(RunRecord) error
+	// Progress, when set, is called with (folded, total) as the ordered
+	// ingest frontier advances.
+	Progress func(done, total int)
+	// Telemetry, when set, receives the coord.* counters and gauges plus
+	// the fleet.scenarios_folded/replayed counters the summary and
+	// manifest read. Side-channel only: the merged Result is byte-identical
+	// with or without it.
+	Telemetry *telemetry.Collector
+	// Logf, when set, receives operational one-liners (worker joins,
+	// lease expiries, drains) — the coordinator's stderr narrative. It
+	// must not write to stdout, which carries only the deterministic
+	// result.
+	Logf func(format string, args ...any)
+}
+
+// span is a half-open scenario-index range [start, end).
+type span struct{ start, end int }
+
+// coordLease is one outstanding lease in the coordinator's table.
+type coordLease struct {
+	id         uint64
+	worker     string
+	start, end int
+	last       time.Time
+}
+
+// coordinator is the in-flight state of one Coordinate run.
+type coordinator struct {
+	cfg      CoordinatorConfig
+	suite    Suite
+	suiteDoc []byte
+	fp       string
+	total    int
+
+	leaseSize int
+	hb        time.Duration
+	timeout   time.Duration
+
+	records map[int]RunRecord
+	next    int // ordered-ingest frontier: records [0, next) are folded
+	queue   []span
+	leases  map[uint64]*coordLease
+	nextID  uint64
+	workers map[string]time.Time
+
+	tm *coordMetrics
+}
+
+// coordMetrics bundles the coordinator's telemetry handles (nil = off).
+type coordMetrics struct {
+	col       *telemetry.Collector
+	folded    *telemetry.Counter
+	replayed  *telemetry.Counter
+	granted   *telemetry.Counter
+	expired   *telemetry.Counter
+	received  *telemetry.Counter
+	dupes     *telemetry.Counter
+	rejected  *telemetry.Counter
+	beats     *telemetry.Counter
+	workers   *telemetry.Gauge
+	pending   *telemetry.Gauge
+	leasesOut *telemetry.Gauge
+}
+
+func newCoordMetrics(col *telemetry.Collector) *coordMetrics {
+	if col == nil {
+		return nil
+	}
+	return &coordMetrics{
+		col:       col,
+		folded:    col.Counter(MetricScenariosFolded),
+		replayed:  col.Counter(MetricScenariosReplayed),
+		granted:   col.Counter(MetricCoordLeasesGranted),
+		expired:   col.Counter(MetricCoordLeasesExpired),
+		received:  col.Counter(MetricCoordRecordsReceived),
+		dupes:     col.Counter(MetricCoordRecordsReplayed),
+		rejected:  col.Counter(MetricCoordRecordsRejected),
+		beats:     col.Counter(MetricCoordHeartbeats),
+		workers:   col.Gauge(MetricCoordWorkers),
+		pending:   col.Gauge(MetricCoordScenariosPending),
+		leasesOut: col.Gauge(MetricCoordLeasesOutstanding),
+	}
+}
+
+// Coordinate runs the distributed control plane for a suite: it listens on
+// cfg.Endpoint, leases index-contiguous scenario ranges to connecting
+// workers (ConnectWorker / tolerance-fleet -connect), ingests their record
+// streams with first-write-wins dedupe, expires and re-leases ranges from
+// workers that stop heartbeating, and — once every scenario index has a
+// record — folds the records in strict index order into the same Result a
+// single-machine Run of the suite produces, byte for byte.
+//
+// Fresh records reach cfg.OnRecord in index order exactly as Config.
+// OnRecord would deliver them, so the existing checkpoint machinery (and
+// -resume, via cfg.Completed) works unchanged. Cancelling ctx drains: a
+// best-effort shutdown notice is broadcast to connected workers and the
+// context error returned; an attached checkpoint then holds the folded
+// prefix for a -resume restart.
+func Coordinate(ctx context.Context, suite Suite, cfg CoordinatorConfig) (*Result, error) {
+	suite = suite.withDefaults()
+	if err := suite.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Endpoint == nil {
+		return nil, fmt.Errorf("%w: coordinator needs a transport endpoint", ErrBadSuite)
+	}
+	total := suite.NumScenarios()
+	if total == 0 {
+		return nil, fmt.Errorf("%w: empty grid", ErrBadSuite)
+	}
+	doc, err := DumpSuite(suite)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &coordinator{
+		cfg:      cfg,
+		suite:    suite,
+		suiteDoc: doc,
+		fp:       suite.Fingerprint(),
+		total:    total,
+		records:  make(map[int]RunRecord, total),
+		leases:   make(map[uint64]*coordLease),
+		workers:  make(map[string]time.Time),
+		tm:       newCoordMetrics(cfg.Telemetry),
+	}
+	c.hb = cfg.Heartbeat
+	if c.hb <= 0 {
+		c.hb = DefaultHeartbeat
+	}
+	c.timeout = cfg.LeaseTimeout
+	if c.timeout <= 0 {
+		c.timeout = defaultLeaseTimeoutBeats * c.hb
+	}
+	c.leaseSize = cfg.LeaseScenarios
+	if c.leaseSize <= 0 {
+		c.leaseSize = min(max(total/16, 1), maxLeaseScenarios)
+	}
+
+	for idx, rec := range cfg.Completed {
+		if idx < 0 || idx >= total {
+			return nil, fmt.Errorf("%w: completed scenario %d is outside the suite (%d scenarios)",
+				ErrBadSuite, idx, total)
+		}
+		if want := idx / suite.SeedsPerCell; rec.Cell != want {
+			return nil, fmt.Errorf("%w: completed scenario %d records cell %d, want %d",
+				ErrBadSuite, idx, rec.Cell, want)
+		}
+		c.records[idx] = rec
+	}
+	// Fold the resumed prefix before serving, so Progress and the pending
+	// gauge reflect the checkpoint from the first tick. Replays never reach
+	// OnRecord — the checkpoint already holds them.
+	if err := c.sweep(); err != nil {
+		return nil, err
+	}
+	c.queue = c.missingSpans(0, total)
+	c.updateGauges()
+	c.logf("coordinator: suite %s (%s): %d scenarios, %d already complete, lease size %d, heartbeat %s, lease timeout %s",
+		suite.Name, c.fp, total, len(cfg.Completed), c.leaseSize, c.hb, c.timeout)
+
+	if c.next == c.total {
+		// Everything was already in the checkpoint; nothing to serve.
+		return MergeRecords(c.suite, c.records)
+	}
+
+	if c.tm != nil {
+		c.cfg.Telemetry.Gauge(MetricScenariosTotal).Set(float64(total))
+		endRun := c.cfg.Telemetry.Phase("fleet.run")
+		defer endRun()
+	}
+
+	ticker := time.NewTicker(c.hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			c.broadcastDrain()
+			return nil, ctx.Err()
+		case msg, ok := <-c.cfg.Endpoint.Receive():
+			if !ok {
+				return nil, fmt.Errorf("fleet: coordinator endpoint closed")
+			}
+			if err := c.handle(msg); err != nil {
+				c.broadcastDrain()
+				return nil, err
+			}
+			if c.next == c.total {
+				c.broadcastDrain()
+				c.logf("coordinator: all %d scenarios ingested; draining workers", c.total)
+				return MergeRecords(c.suite, c.records)
+			}
+		case <-ticker.C:
+			c.expireLeases(time.Now())
+		}
+	}
+}
+
+// handle dispatches one inbound protocol message.
+func (c *coordinator) handle(msg transport.Message) error {
+	kind, payload, err := proto.Decode(msg.Payload)
+	if err != nil {
+		c.reject()
+		return nil // garbage from the network is dropped, not fatal
+	}
+	now := time.Now()
+	switch kind {
+	case proto.KindHello:
+		var h proto.Hello
+		if err := proto.Unmarshal(payload, &h); err != nil || h.Version != proto.Version {
+			c.reject()
+			return nil
+		}
+		if _, known := c.workers[msg.From]; !known {
+			c.logf("coordinator: worker %s connected", msg.From)
+		}
+		c.workers[msg.From] = now
+		c.updateGauges()
+		c.send(msg.From, proto.KindWelcome, proto.Welcome{
+			Version:            proto.Version,
+			Suite:              c.suiteDoc,
+			Fingerprint:        c.fp,
+			Scenarios:          c.total,
+			HeartbeatMillis:    int(c.hb / time.Millisecond),
+			LeaseTimeoutMillis: int(c.timeout / time.Millisecond),
+		})
+	case proto.KindLeaseRequest:
+		c.workers[msg.From] = now
+		if lease, ok := c.grant(msg.From, now); ok {
+			c.send(msg.From, proto.KindLease, lease)
+		} else if c.next == c.total {
+			c.send(msg.From, proto.KindWait, proto.Wait{Drain: true})
+		} else {
+			// Outstanding leases cover the remaining work; the worker backs
+			// off and asks again (it inherits expired ranges that way).
+			c.send(msg.From, proto.KindWait, proto.Wait{
+				BackoffMillis: int(c.hb / time.Millisecond),
+			})
+		}
+	case proto.KindRecords:
+		var batch proto.Records
+		if err := proto.Unmarshal(payload, &batch); err != nil {
+			c.reject()
+			return nil
+		}
+		c.workers[msg.From] = now
+		if l, ok := c.leases[batch.LeaseID]; ok {
+			l.last = now
+		}
+		for _, raw := range batch.Records {
+			if err := c.ingest(raw); err != nil {
+				return err
+			}
+		}
+		c.send(msg.From, proto.KindRecordsAck, proto.RecordsAck{
+			LeaseID: batch.LeaseID, Seq: batch.Seq,
+		})
+		c.completeLease(batch.LeaseID)
+	case proto.KindHeartbeat:
+		var hb proto.Heartbeat
+		if err := proto.Unmarshal(payload, &hb); err != nil {
+			c.reject()
+			return nil
+		}
+		c.workers[msg.From] = now
+		if l, ok := c.leases[hb.LeaseID]; ok {
+			l.last = now
+		}
+		if c.tm != nil {
+			c.tm.beats.Inc(0)
+		}
+	case proto.KindGoodbye:
+		c.releaseWorker(msg.From)
+	default:
+		c.reject()
+	}
+	return nil
+}
+
+// ingest validates and dedupes one wire record, folding it through the
+// ordered frontier. First write wins: a duplicate index — a retransmitted
+// batch, or a re-leased range both the dead and the replacement worker
+// executed — counts as a replay and is dropped, which is sound because
+// record bytes are a pure function of (suite, index).
+func (c *coordinator) ingest(raw json.RawMessage) error {
+	var rec RunRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		c.reject()
+		return nil
+	}
+	if rec.Index < 0 || rec.Index >= c.total || rec.Cell != rec.Index/c.suite.SeedsPerCell {
+		c.reject()
+		return nil
+	}
+	if _, dup := c.records[rec.Index]; dup {
+		if c.tm != nil {
+			c.tm.dupes.Inc(0)
+		}
+		return nil
+	}
+	c.records[rec.Index] = rec
+	if c.tm != nil {
+		c.tm.received.Inc(0)
+	}
+	if err := c.sweep(); err != nil {
+		return err
+	}
+	c.updateGauges()
+	return nil
+}
+
+// sweep advances the ordered-ingest frontier: every contiguous record from
+// next upward folds out — fresh ones through OnRecord (the checkpoint
+// hook), resumed ones as replays — so the checkpoint stays an index-ordered
+// prefix exactly as a single-machine run writes it.
+func (c *coordinator) sweep() error {
+	for {
+		rec, ok := c.records[c.next]
+		if !ok {
+			return nil
+		}
+		_, resumed := c.cfg.Completed[c.next]
+		if c.tm != nil {
+			c.tm.folded.Inc(0)
+			if resumed {
+				c.tm.replayed.Inc(0)
+			}
+		}
+		if !resumed && c.cfg.OnRecord != nil {
+			if err := c.cfg.OnRecord(rec); err != nil {
+				return fmt.Errorf("fleet: record scenario %d: %w", rec.Index, err)
+			}
+		}
+		c.next++
+		if c.cfg.Progress != nil {
+			c.cfg.Progress(c.next, c.total)
+		}
+	}
+}
+
+// grant pops the next lease-sized chunk off the pending queue.
+func (c *coordinator) grant(worker string, now time.Time) (proto.Lease, bool) {
+	for len(c.queue) > 0 {
+		s := c.queue[0]
+		if s.start >= s.end {
+			c.queue = c.queue[1:]
+			continue
+		}
+		end := min(s.start+c.leaseSize, s.end)
+		lease := proto.Lease{ID: c.nextID, Start: s.start, End: end}
+		c.nextID++
+		if end == s.end {
+			c.queue = c.queue[1:]
+		} else {
+			c.queue[0].start = end
+		}
+		c.leases[lease.ID] = &coordLease{
+			id: lease.ID, worker: worker, start: lease.Start, end: lease.End, last: now,
+		}
+		if c.tm != nil {
+			c.tm.granted.Inc(0)
+		}
+		c.updateGauges()
+		return lease, true
+	}
+	return proto.Lease{}, false
+}
+
+// completeLease retires a lease once every index of its range has a
+// record. A finished range needs no more heartbeats — without this, the
+// worker moves on to its next lease and the finished one would sit in the
+// table until it "expired", polluting coord.leases_expired (which must
+// count only genuinely dead leases) and the outstanding-leases gauge.
+func (c *coordinator) completeLease(id uint64) {
+	l, ok := c.leases[id]
+	if !ok {
+		return
+	}
+	for i := l.start; i < l.end; i++ {
+		if _, ok := c.records[i]; !ok {
+			return
+		}
+	}
+	delete(c.leases, id)
+	c.updateGauges()
+}
+
+// expireLeases revokes leases that have been silent past the timeout and
+// returns their incomplete indices to the front of the queue, so the
+// replacement worker continues where the dead one stopped.
+func (c *coordinator) expireLeases(now time.Time) {
+	for id, l := range c.leases {
+		if now.Sub(l.last) <= c.timeout {
+			continue
+		}
+		delete(c.leases, id)
+		missing := c.requeue(l.start, l.end)
+		if c.tm != nil {
+			c.tm.expired.Inc(0)
+		}
+		c.logf("coordinator: lease %d [%d,%d) on %s expired after %s silence; %d scenarios re-leased",
+			id, l.start, l.end, l.worker, c.timeout, missing)
+	}
+	// A worker silent far past the lease timeout is gone; drop it so the
+	// connected-workers gauge and the drain broadcast stay honest.
+	for addr, last := range c.workers {
+		if now.Sub(last) > 4*c.timeout {
+			delete(c.workers, addr)
+			c.logf("coordinator: worker %s presumed dead", addr)
+		}
+	}
+	c.updateGauges()
+}
+
+// releaseWorker handles a voluntary departure: every lease the worker
+// holds is requeued immediately, skipping the expiry timeout.
+func (c *coordinator) releaseWorker(addr string) {
+	released := 0
+	for id, l := range c.leases {
+		if l.worker != addr {
+			continue
+		}
+		delete(c.leases, id)
+		c.requeue(l.start, l.end)
+		released++
+	}
+	if _, known := c.workers[addr]; known {
+		delete(c.workers, addr)
+		c.logf("coordinator: worker %s left (%d leases released)", addr, released)
+	}
+	c.updateGauges()
+}
+
+// requeue prepends the still-missing indices of [start, end) to the
+// pending queue and reports how many there were.
+func (c *coordinator) requeue(start, end int) int {
+	spans := c.missingSpans(start, end)
+	missing := 0
+	for _, s := range spans {
+		missing += s.end - s.start
+	}
+	if missing > 0 {
+		c.queue = append(spans, c.queue...)
+	}
+	return missing
+}
+
+// missingSpans lists the maximal ranges of [start, end) with no record yet.
+func (c *coordinator) missingSpans(start, end int) []span {
+	var spans []span
+	for i := start; i < end; i++ {
+		if _, ok := c.records[i]; ok {
+			continue
+		}
+		if n := len(spans); n > 0 && spans[n-1].end == i {
+			spans[n-1].end = i + 1
+		} else {
+			spans = append(spans, span{i, i + 1})
+		}
+	}
+	return spans
+}
+
+// broadcastDrain tells every known worker the run is over (best effort —
+// a missed drain only costs the worker its handshake retries).
+func (c *coordinator) broadcastDrain() {
+	for addr := range c.workers {
+		c.send(addr, proto.KindWait, proto.Wait{Drain: true})
+	}
+}
+
+// send encodes and transmits one message, best effort: a dead peer's lease
+// expiry — not the send path — is what guarantees progress.
+func (c *coordinator) send(to string, kind proto.Kind, payload any) {
+	data, err := proto.Encode(kind, payload)
+	if err != nil {
+		return
+	}
+	_ = c.cfg.Endpoint.Send(to, data)
+}
+
+func (c *coordinator) reject() {
+	if c.tm != nil {
+		c.tm.rejected.Inc(0)
+	}
+}
+
+func (c *coordinator) updateGauges() {
+	if c.tm == nil {
+		return
+	}
+	c.tm.workers.Set(float64(len(c.workers)))
+	c.tm.pending.Set(float64(c.total - len(c.records)))
+	c.tm.leasesOut.Set(float64(len(c.leases)))
+}
+
+func (c *coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

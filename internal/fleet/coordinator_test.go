@@ -1,0 +1,382 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tolerance/internal/fleet/proto"
+	"tolerance/internal/telemetry"
+	"tolerance/internal/transport"
+)
+
+// coordTestTiming keeps the fault-tolerance tests fast: leases expire after
+// 4 missed 50ms heartbeats instead of the production 5x1s.
+const (
+	coordTestHeartbeat = 50 * time.Millisecond
+	coordTestTimeout   = 200 * time.Millisecond
+)
+
+// listenLoopback binds a fresh loopback endpoint and registers its cleanup.
+func listenLoopback(t *testing.T) *transport.TCPEndpoint {
+	t.Helper()
+	ep, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	return ep
+}
+
+// referenceRun executes the suite single-machine and returns its serialized
+// result — the byte-identity baseline every distributed test compares to.
+func referenceRun(t *testing.T, suite Suite) []byte {
+	t.Helper()
+	res, err := Run(context.Background(), suite, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCoordinateLoopbackDeterminism is the distributed reproducibility
+// contract: a coordinator with two real TCP workers racing for leases must
+// produce a result byte-identical to a single-machine run of the same suite.
+func TestCoordinateLoopbackDeterminism(t *testing.T) {
+	suite := testSuite()
+	want := referenceRun(t, suite)
+
+	coordEP := listenLoopback(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = ConnectWorker(ctx, WorkerConfig{
+				Endpoint:    listenLoopback(t),
+				Coordinator: coordEP.Addr(),
+				Workers:     2,
+				DialTimeout: 30 * time.Second,
+			})
+		}(i)
+	}
+
+	res, err := Coordinate(ctx, suite, CoordinatorConfig{
+		Endpoint:       coordEP,
+		LeaseScenarios: 3,
+		Heartbeat:      coordTestHeartbeat,
+		LeaseTimeout:   coordTestTimeout,
+	})
+	if err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil && !errors.Is(werr, ErrDrained) {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("coordinator result differs from single-machine run:\n%s\n%s", got, want)
+	}
+}
+
+// TestCoordinateWorkerKillReLease is the fault-tolerance contract: a worker
+// that dies mid-range without a Goodbye (simulated SIGKILL) must have its
+// lease expire after the timeout and the missing scenarios re-leased to a
+// surviving worker, with the final result still byte-identical — the
+// replayed prefix the dead worker shipped is deduped, not double-counted.
+func TestCoordinateWorkerKillReLease(t *testing.T) {
+	suite := testSuite()
+	want := referenceRun(t, suite)
+
+	coordEP := listenLoopback(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	col := telemetry.New()
+
+	// Victim: ships records one at a time, dies hard after the third.
+	victimDone := make(chan error, 1)
+	go func() {
+		victimDone <- ConnectWorker(ctx, WorkerConfig{
+			Endpoint:             listenLoopback(t),
+			Coordinator:          coordEP.Addr(),
+			Workers:              1,
+			testFailAfterRecords: 3,
+			testBatchRecords:     1,
+		})
+	}()
+
+	// Survivor: joins after the victim so the victim holds the first lease.
+	survivorDone := make(chan error, 1)
+	go func() {
+		time.Sleep(2 * coordTestHeartbeat)
+		survivorDone <- ConnectWorker(ctx, WorkerConfig{
+			Endpoint:    listenLoopback(t),
+			Coordinator: coordEP.Addr(),
+			Workers:     2,
+		})
+	}()
+
+	res, err := Coordinate(ctx, suite, CoordinatorConfig{
+		Endpoint:       coordEP,
+		LeaseScenarios: 6,
+		Heartbeat:      coordTestHeartbeat,
+		LeaseTimeout:   coordTestTimeout,
+		Telemetry:      col,
+	})
+	if err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	if verr := <-victimDone; !errors.Is(verr, errWorkerKilled) {
+		t.Errorf("victim worker: got %v, want simulated kill", verr)
+	}
+	if serr := <-survivorDone; serr != nil && !errors.Is(serr, ErrDrained) {
+		t.Errorf("survivor worker: %v", serr)
+	}
+
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("result after worker kill differs from single-machine run:\n%s\n%s", got, want)
+	}
+	s := col.Snapshot()
+	if s.Counter(MetricCoordLeasesExpired) < 1 {
+		t.Errorf("coord.leases_expired = %d, want >= 1 (victim's lease must expire)",
+			s.Counter(MetricCoordLeasesExpired))
+	}
+	if folded := s.Counter(MetricScenariosFolded); folded != int64(suite.NumScenarios()) {
+		t.Errorf("fleet.scenarios_folded = %d, want %d", folded, suite.NumScenarios())
+	}
+}
+
+// TestCoordinateDuplicateRecordsDeduped drives the wire protocol directly:
+// a hand-rolled worker ships every leased record batch twice. First write
+// wins — the duplicates count as coord.records_replayed and the merged
+// result stays byte-identical to the single-machine run.
+func TestCoordinateDuplicateRecordsDeduped(t *testing.T) {
+	suite := testSuite()
+	want := referenceRun(t, suite)
+
+	// Pre-compute genuine record bytes per index with a local engine run.
+	recordBytes := make(map[int]json.RawMessage)
+	_, err := Run(context.Background(), suite, Config{
+		Workers: 4,
+		OnRecord: func(rec RunRecord) error {
+			data, merr := json.Marshal(rec)
+			if merr != nil {
+				return merr
+			}
+			recordBytes[rec.Index] = data
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coordEP := listenLoopback(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	col := telemetry.New()
+
+	fakeDone := make(chan error, 1)
+	duplicated := 0
+	go func() {
+		fakeDone <- runDoubleShippingWorker(ctx, coordEP.Addr(), listenLoopback(t), suite.NumScenarios(), recordBytes, &duplicated)
+	}()
+
+	res, err := Coordinate(ctx, suite, CoordinatorConfig{
+		Endpoint:       coordEP,
+		LeaseScenarios: 4,
+		Heartbeat:      coordTestHeartbeat,
+		LeaseTimeout:   coordTestTimeout,
+		Telemetry:      col,
+	})
+	if err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	if ferr := <-fakeDone; ferr != nil {
+		t.Fatalf("fake worker: %v", ferr)
+	}
+
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("result with duplicated batches differs from single-machine run")
+	}
+	s := col.Snapshot()
+	total := int64(suite.NumScenarios())
+	if duplicated == 0 {
+		t.Fatal("fake worker duplicated no batches; test exercised nothing")
+	}
+	if got := s.Counter(MetricCoordRecordsReplayed); got != int64(duplicated) {
+		t.Errorf("coord.records_replayed = %d, want %d (one per duplicated record)", got, duplicated)
+	}
+	if s.Counter(MetricCoordRecordsReceived) != total {
+		t.Errorf("coord.records_received = %d, want %d", s.Counter(MetricCoordRecordsReceived), total)
+	}
+}
+
+// runDoubleShippingWorker speaks the lease protocol by hand: handshake,
+// lease, then ship the pre-computed records for the range twice before
+// asking for the next lease. The batch that completes the suite is shipped
+// once — the coordinator returns the moment the last record lands, so a
+// duplicate of that batch would never be acknowledged. *duplicated reports
+// how many records went over the wire twice.
+func runDoubleShippingWorker(ctx context.Context, coord string, ep transport.Endpoint, total int, records map[int]json.RawMessage, duplicated *int) error {
+	send := func(kind proto.Kind, payload any) error {
+		data, err := proto.Encode(kind, payload)
+		if err != nil {
+			return err
+		}
+		return ep.Send(coord, data)
+	}
+	recv := func(want proto.Kind) (json.RawMessage, error) {
+		for {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case msg, ok := <-ep.Receive():
+				if !ok {
+					return nil, errors.New("endpoint closed")
+				}
+				k, raw, err := proto.Decode(msg.Payload)
+				if err != nil {
+					continue
+				}
+				if k == want {
+					return raw, nil
+				}
+				if k == proto.KindWait {
+					var w proto.Wait
+					if proto.Unmarshal(raw, &w) == nil && w.Drain {
+						return nil, nil // drained sentinel
+					}
+				}
+			}
+		}
+	}
+
+	if err := send(proto.KindHello, proto.Hello{Version: proto.Version}); err != nil {
+		return err
+	}
+	if _, err := recv(proto.KindWelcome); err != nil {
+		return err
+	}
+	seq := 0
+	for {
+		if err := send(proto.KindLeaseRequest, proto.LeaseRequest{}); err != nil {
+			return err
+		}
+		raw, err := recv(proto.KindLease)
+		if err != nil {
+			return err
+		}
+		if raw == nil {
+			return nil // drained
+		}
+		var lease proto.Lease
+		if err := proto.Unmarshal(raw, &lease); err != nil {
+			return err
+		}
+		batch := make([]json.RawMessage, 0, lease.End-lease.Start)
+		for i := lease.Start; i < lease.End; i++ {
+			batch = append(batch, records[i])
+		}
+		ships := 2
+		if lease.End >= total {
+			ships = 1 // final batch: the coordinator exits on its first copy
+		}
+		for ship := 0; ship < ships; ship++ {
+			if err := send(proto.KindRecords, proto.Records{LeaseID: lease.ID, Seq: seq, Records: batch}); err != nil {
+				return err
+			}
+			if raw, err := recv(proto.KindRecordsAck); err != nil {
+				return err
+			} else if raw == nil {
+				return nil // drained mid-ack: coordinator finished
+			}
+			if ship == 1 {
+				*duplicated += len(batch)
+			}
+			seq++
+		}
+	}
+}
+
+// TestRunIndicesDeterminism checks the engine's lease execution path: a
+// suite split into two explicit index ranges and merged must match the
+// whole-suite run byte for byte.
+func TestRunIndicesDeterminism(t *testing.T) {
+	suite := testSuite()
+	want := referenceRun(t, suite)
+	total := suite.NumScenarios()
+
+	records := make(map[int]RunRecord, total)
+	for _, idxs := range [][]int{rangeInts(0, total/2), rangeInts(total/2, total)} {
+		_, err := Run(context.Background(), suite, Config{
+			Workers: 3,
+			Indices: idxs,
+			OnRecord: func(rec RunRecord) error {
+				records[rec.Index] = rec
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := MergeRecords(suite, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("split-indices merged result differs from whole-suite run")
+	}
+}
+
+// TestRunIndicesValidation rejects schedules the lease path must never
+// produce: descending, duplicate, and out-of-range indices.
+func TestRunIndicesValidation(t *testing.T) {
+	suite := testSuite()
+	for _, bad := range [][]int{{1, 0}, {0, 0}, {-1}, {suite.NumScenarios()}} {
+		_, err := Run(context.Background(), suite, Config{Indices: bad})
+		if err == nil {
+			t.Errorf("Indices %v accepted, want error", bad)
+		}
+	}
+}
+
+// rangeInts returns [start, end) as a slice.
+func rangeInts(start, end int) []int {
+	out := make([]int, 0, end-start)
+	for i := start; i < end; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -43,6 +43,14 @@ type Config struct {
 	// a sharded run execute exactly the scenarios — with exactly the rng
 	// streams — that a whole run would.
 	Shard Shard
+	// Indices, when non-nil, schedules exactly this ascending list of
+	// scenario indices instead of the Shard slice — the coordinator's
+	// lease path, where workers execute index-contiguous ranges of the
+	// suite (ConnectWorker). Per-index seeding keeps the executed records
+	// identical to the ones a whole run would produce, which is what lets
+	// the coordinator merge leases from many machines byte-identically.
+	// Mutually exclusive with a non-whole Shard.
+	Indices []int
 	// Completed holds records of scenarios already finished by an earlier
 	// (killed) run of the same suite and shard, keyed by scenario index.
 	// They are folded from the stored metrics instead of re-executed, so
@@ -175,14 +183,32 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("%w: empty grid", ErrBadSuite)
 	}
 	sched := cfg.Shard.Indices(gridTotal)
+	scheduled := func(idx int) bool { return cfg.Shard.Contains(idx) }
+	if cfg.Indices != nil {
+		if !cfg.Shard.IsWhole() {
+			return nil, fmt.Errorf("%w: Indices and a non-whole shard are mutually exclusive", ErrBadSuite)
+		}
+		prev := -1
+		inSet := make(map[int]bool, len(cfg.Indices))
+		for _, idx := range cfg.Indices {
+			if idx <= prev || idx >= gridTotal {
+				return nil, fmt.Errorf("%w: scheduled indices must be ascending, unique and in [0,%d)",
+					ErrBadSuite, gridTotal)
+			}
+			prev = idx
+			inSet[idx] = true
+		}
+		sched = cfg.Indices
+		scheduled = func(idx int) bool { return inSet[idx] }
+	}
 	total := len(sched)
 	if total == 0 {
 		return nil, fmt.Errorf("%w: shard %s selects no scenarios of %d",
 			ErrBadSuite, cfg.Shard, gridTotal)
 	}
 	for idx := range cfg.Completed {
-		if idx < 0 || idx >= gridTotal || !cfg.Shard.Contains(idx) {
-			return nil, fmt.Errorf("%w: completed scenario %d is outside shard %s",
+		if idx < 0 || idx >= gridTotal || !scheduled(idx) {
+			return nil, fmt.Errorf("%w: completed scenario %d is outside the scheduled set (shard %s)",
 				ErrBadSuite, idx, cfg.Shard)
 		}
 	}

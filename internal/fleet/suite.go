@@ -25,6 +25,16 @@
 //   - Streaming aggregation: per-run metrics fold into per-cell Welford
 //     summaries (emulation.Accumulator) in scenario-index order, without
 //     retaining traces.
+//
+// Beyond one machine, the same records flow through three scale-out
+// layers, each byte-identical to a local run: static sharding
+// (Shard/ReadShardSet), durable checkpoints (CreateCheckpoint /
+// ReadCheckpoint, with -resume dedupe), and the distributed coordinator
+// (Coordinate/ConnectWorker over internal/fleet/proto), which leases
+// index-contiguous scenario ranges to remote workers and re-leases them
+// from dead ones. docs/ARCHITECTURE.md maps these layers to the paper and
+// states the determinism contract they rely on; docs/OPERATIONS.md is the
+// coordinator runbook.
 package fleet
 
 import (

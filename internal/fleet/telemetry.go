@@ -35,6 +35,40 @@ const (
 	MetricWorkers = "fleet.workers"
 )
 
+// Coordinator metric names (Coordinate; see docs/OPERATIONS.md for how to
+// read them during an incident). All are recorded from the coordinator's
+// single event-loop goroutine. The fleet.scenarios_folded/replayed
+// counters above are shared: the coordinator's ordered ingest increments
+// them exactly as a local run's aggregator would, so the post-run summary
+// and the manifest reconcile the same way on both paths.
+const (
+	// MetricCoordWorkers (gauge) is the number of currently connected
+	// workers.
+	MetricCoordWorkers = "coord.workers_connected"
+	// MetricCoordLeasesGranted counts leases handed to workers, including
+	// re-leases of expired ranges.
+	MetricCoordLeasesGranted = "coord.leases_granted"
+	// MetricCoordLeasesExpired counts leases revoked after missed
+	// heartbeats — the fault-tolerance path firing.
+	MetricCoordLeasesExpired = "coord.leases_expired"
+	// MetricCoordLeasesOutstanding (gauge) is the number of live leases.
+	MetricCoordLeasesOutstanding = "coord.leases_outstanding"
+	// MetricCoordRecordsReceived counts fresh records ingested off the
+	// wire (first write for their index).
+	MetricCoordRecordsReceived = "coord.records_received"
+	// MetricCoordRecordsReplayed counts duplicate records dropped by the
+	// first-write-wins dedupe (retransmits, re-leased overlap).
+	MetricCoordRecordsReplayed = "coord.records_replayed"
+	// MetricCoordRecordsRejected counts undecodable or out-of-suite
+	// messages dropped by validation.
+	MetricCoordRecordsRejected = "coord.records_rejected"
+	// MetricCoordHeartbeats counts worker keep-alives.
+	MetricCoordHeartbeats = "coord.heartbeats"
+	// MetricCoordScenariosPending (gauge) is the number of scenario
+	// indices still lacking a record.
+	MetricCoordScenariosPending = "coord.scenarios_pending"
+)
+
 // stepBuckets covers the suite step-count range (smoke suites run tens of
 // steps, the paper grid a thousand, stress configurations more).
 var stepBuckets = []int64{50, 100, 200, 500, 1000, 2000, 5000, 10000}

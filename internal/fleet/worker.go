@@ -1,0 +1,441 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tolerance/internal/fleet/proto"
+	"tolerance/internal/telemetry"
+	"tolerance/internal/transport"
+)
+
+// workerBatchRecords is how many completed records a worker accumulates
+// before shipping a Records batch (well under the transport frame cap).
+const workerBatchRecords = 64
+
+// DefaultDialTimeout bounds how long a worker keeps retrying the initial
+// handshake — long enough to start the worker before its coordinator.
+const DefaultDialTimeout = 30 * time.Second
+
+// ErrDrained is returned by ConnectWorker when the coordinator drains the
+// worker before granting it any lease — the run was already complete (or
+// shutting down) when the worker arrived. It is informational, not a
+// failure.
+var ErrDrained = errors.New("fleet: coordinator drained the worker")
+
+// WorkerConfig tunes one worker session (ConnectWorker).
+type WorkerConfig struct {
+	// Endpoint is the worker's transport endpoint. Its advertised address
+	// must be dialable from the coordinator (see
+	// transport.ListenTCPAdvertise). The caller owns it; ConnectWorker
+	// does not close it.
+	Endpoint transport.Endpoint
+	// Coordinator is the coordinator's host:port address.
+	Coordinator string
+	// Workers bounds the local execution pool inside each lease, exactly
+	// like Config.Workers (zero = GOMAXPROCS).
+	Workers int
+	// Cache supplies the strategy cache shared across the session's
+	// leases, so policies solve and the suite Ẑ fits once per worker
+	// process; nil creates a fresh one.
+	Cache *StrategyCache
+	// DialTimeout bounds the handshake retry loop (zero =
+	// DefaultDialTimeout), letting workers start before their coordinator.
+	DialTimeout time.Duration
+	// Telemetry, when set, instruments the local engine runs (the usual
+	// fleet.* metrics) — side-channel only, like everywhere else.
+	Telemetry *telemetry.Collector
+	// Logf, when set, receives operational one-liners (handshake, leases,
+	// drain). It must not write to stdout.
+	Logf func(format string, args ...any)
+
+	// testFailAfterRecords, when positive, makes the session fail hard
+	// after sending that many records — the lease-expiry tests' simulated
+	// mid-range kill (no Goodbye is sent, exactly like SIGKILL).
+	testFailAfterRecords int
+	// testBatchRecords overrides workerBatchRecords in tests.
+	testBatchRecords int
+}
+
+// errWorkerKilled is the test hook's simulated hard kill.
+var errWorkerKilled = errors.New("fleet: worker test kill")
+
+// errSessionDrained unwinds a call that can never complete because the
+// coordinator declared the run over (a drain notice arrived while waiting
+// for a different reply — typically an ack for records another worker's
+// re-lease already delivered). The lease loop turns it into a clean exit.
+var errSessionDrained = errors.New("fleet: session drained")
+
+// workerSession is the in-flight state of one ConnectWorker call.
+type workerSession struct {
+	cfg     WorkerConfig
+	suite   Suite
+	total   int
+	hb      time.Duration
+	drained bool
+	sent    int
+}
+
+// ConnectWorker joins a coordinator (Coordinate / tolerance-fleet -serve)
+// as a remote fleet worker: it performs the Hello/Welcome handshake,
+// receives the suite definition over the wire, then loops — lease a
+// scenario range, execute it on the local engine with the usual
+// deterministic per-index seeding, stream the records back in batches
+// (resent until acknowledged), heartbeat while running — until the
+// coordinator drains it. Returns nil after a drain that followed at least
+// one lease; ErrDrained if the worker never got work.
+//
+// Cancelling ctx is the graceful exit: the in-flight lease's engine drains,
+// its completed record prefix is already shipped, and a best-effort
+// Goodbye lets the coordinator re-lease the remainder immediately instead
+// of waiting out the lease timeout. A worker killed without Goodbye loses
+// nothing either — its lease simply expires.
+func ConnectWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Endpoint == nil {
+		return fmt.Errorf("%w: worker needs a transport endpoint", ErrBadSuite)
+	}
+	if cfg.Coordinator == "" {
+		return fmt.Errorf("%w: worker needs a coordinator address", ErrBadSuite)
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = NewStrategyCache()
+	}
+	if cfg.testBatchRecords <= 0 {
+		cfg.testBatchRecords = workerBatchRecords
+	}
+	s := &workerSession{cfg: cfg}
+	if err := s.handshake(ctx); err != nil {
+		return err
+	}
+	leases := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			s.goodbye()
+			return err
+		}
+		lease, drained, err := s.requestLease(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				s.goodbye()
+			}
+			return err
+		}
+		if drained {
+			s.logf("worker: drained after %d leases", leases)
+			if leases == 0 {
+				return ErrDrained
+			}
+			return nil
+		}
+		if err := s.runLease(ctx, lease); err != nil {
+			if errors.Is(err, context.Canceled) {
+				s.goodbye()
+				return err
+			}
+			if errors.Is(err, errSessionDrained) {
+				// The run finished without this lease's remainder; the next
+				// requestLease observes s.drained and exits cleanly.
+				leases++
+				continue
+			}
+			return err
+		}
+		leases++
+	}
+}
+
+// handshake performs Hello → Welcome with retries, so workers can start
+// before the coordinator is listening.
+func (s *workerSession) handshake(ctx context.Context) error {
+	timeout := s.cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	attempt := time.Second
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_, raw, err := s.call(ctx, proto.KindHello, proto.Hello{Version: proto.Version}, attempt,
+			func(k proto.Kind, _ json.RawMessage) bool { return k == proto.KindWelcome })
+		if err != nil {
+			if errors.Is(err, errSessionDrained) {
+				// The run ended while we were still saying hello.
+				return ErrDrained
+			}
+			lastErr = err
+			continue
+		}
+		var w proto.Welcome
+		if err := proto.Unmarshal(raw, &w); err != nil {
+			return err
+		}
+		if w.Version != proto.Version {
+			return fmt.Errorf("fleet: coordinator speaks protocol v%d, this worker v%d", w.Version, proto.Version)
+		}
+		suite, err := ParseSuite(w.Suite)
+		if err != nil {
+			return fmt.Errorf("fleet: coordinator sent a bad suite: %w", err)
+		}
+		if got := suite.Fingerprint(); got != w.Fingerprint {
+			return fmt.Errorf("fleet: suite fingerprint mismatch: coordinator says %s, parsed %s", w.Fingerprint, got)
+		}
+		if got := suite.NumScenarios(); got != w.Scenarios {
+			return fmt.Errorf("fleet: scenario count mismatch: coordinator says %d, suite expands to %d", w.Scenarios, got)
+		}
+		s.suite, s.total = suite, w.Scenarios
+		s.hb = time.Duration(w.HeartbeatMillis) * time.Millisecond
+		if s.hb <= 0 {
+			s.hb = DefaultHeartbeat
+		}
+		s.logf("worker: joined %s — suite %s (%s), %d scenarios, heartbeat %s",
+			s.cfg.Coordinator, suite.Name, w.Fingerprint, w.Scenarios, s.hb)
+		return nil
+	}
+	return fmt.Errorf("fleet: no coordinator at %s within %s: %w", s.cfg.Coordinator, timeout, lastErr)
+}
+
+// requestLease asks for the next range until the coordinator grants one or
+// drains the session.
+func (s *workerSession) requestLease(ctx context.Context) (proto.Lease, bool, error) {
+	for {
+		if s.drained {
+			return proto.Lease{}, true, nil
+		}
+		kind, raw, err := s.call(ctx, proto.KindLeaseRequest, proto.LeaseRequest{}, max(s.hb, time.Second),
+			func(k proto.Kind, _ json.RawMessage) bool { return k == proto.KindLease || k == proto.KindWait })
+		if err != nil {
+			return proto.Lease{}, false, err
+		}
+		if kind == proto.KindLease {
+			var lease proto.Lease
+			if uerr := proto.Unmarshal(raw, &lease); uerr == nil && lease.End > lease.Start {
+				return lease, false, nil
+			}
+			continue
+		}
+		var wait proto.Wait
+		if uerr := proto.Unmarshal(raw, &wait); uerr == nil {
+			if wait.Drain {
+				return proto.Lease{}, true, nil
+			}
+			backoff := time.Duration(wait.BackoffMillis) * time.Millisecond
+			if backoff <= 0 {
+				backoff = s.hb
+			}
+			select {
+			case <-ctx.Done():
+				return proto.Lease{}, false, ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+	}
+}
+
+// runLease executes the leased range on the local engine, heartbeating in
+// the background and streaming record batches (resent until acked).
+func (s *workerSession) runLease(ctx context.Context, lease proto.Lease) error {
+	s.logf("worker: lease %d — scenarios [%d,%d)", lease.ID, lease.Start, lease.End)
+	indices := make([]int, 0, lease.End-lease.Start)
+	for i := lease.Start; i < lease.End; i++ {
+		indices = append(indices, i)
+	}
+
+	var done atomic.Int64
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		ticker := time.NewTicker(s.hb)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-ticker.C:
+				s.send(proto.KindHeartbeat, proto.Heartbeat{LeaseID: lease.ID, Done: int(done.Load())})
+			}
+		}
+	}()
+
+	batch := make([]json.RawMessage, 0, s.cfg.testBatchRecords)
+	seq := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := s.shipRecords(ctx, lease.ID, seq, batch)
+		seq++
+		batch = batch[:0]
+		return err
+	}
+	_, err := Run(ctx, s.suite, Config{
+		Workers:   s.cfg.Workers,
+		Cache:     s.cfg.Cache,
+		Indices:   indices,
+		Telemetry: s.cfg.Telemetry,
+		OnRecord: func(rec RunRecord) error {
+			data, merr := json.Marshal(rec)
+			if merr != nil {
+				return merr
+			}
+			batch = append(batch, json.RawMessage(data))
+			done.Add(1)
+			s.sent++
+			if s.cfg.testFailAfterRecords > 0 && s.sent >= s.cfg.testFailAfterRecords {
+				if ferr := flush(); ferr != nil {
+					return ferr
+				}
+				return errWorkerKilled
+			}
+			if len(batch) >= s.cfg.testBatchRecords {
+				return flush()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Graceful drain: the engine already delivered the completed
+			// index-ordered prefix to OnRecord; ship what we have so the
+			// coordinator keeps it, then let the caller send Goodbye.
+			_ = flush()
+		}
+		return err
+	}
+	return flush()
+}
+
+// shipRecords sends one Records batch and waits for its ack, resending on
+// timeout. The coordinator dedupes, so resending an already-ingested batch
+// is harmless (first write wins).
+func (s *workerSession) shipRecords(ctx context.Context, leaseID uint64, seq int, batch []json.RawMessage) error {
+	msg := proto.Records{LeaseID: leaseID, Seq: seq, Records: batch}
+	_, _, err := s.call(ctx, proto.KindRecords, msg, max(s.hb, time.Second),
+		func(k proto.Kind, raw json.RawMessage) bool {
+			if k != proto.KindRecordsAck {
+				return false
+			}
+			var ack proto.RecordsAck
+			return proto.Unmarshal(raw, &ack) == nil && ack.LeaseID == leaseID && ack.Seq == seq
+		})
+	return err
+}
+
+// call sends a message and waits for a reply matching match, retrying the
+// send on timeout (the transport may drop either direction). Stray
+// messages that arrive while waiting are handled on the side: a drain
+// notice sets s.drained, everything else is ignored.
+func (s *workerSession) call(ctx context.Context, kind proto.Kind, payload any,
+	attemptTimeout time.Duration, match func(proto.Kind, json.RawMessage) bool) (proto.Kind, json.RawMessage, error) {
+
+	const attempts = 10
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return "", nil, err
+		}
+		// Consume everything already queued before (re)sending: the reply
+		// to an earlier attempt, or — if the coordinator finished the run
+		// and exited — a drain notice that is the only message we will
+		// ever get, while every send below fails with connection refused.
+	queued:
+		for {
+			select {
+			case msg, ok := <-s.cfg.Endpoint.Receive():
+				if !ok {
+					return "", nil, fmt.Errorf("fleet: worker endpoint closed")
+				}
+				k, raw, derr := proto.Decode(msg.Payload)
+				if derr != nil {
+					continue
+				}
+				if match(k, raw) {
+					return k, raw, nil
+				}
+				s.stray(k, raw)
+				if s.drained {
+					return "", nil, errSessionDrained
+				}
+			default:
+				break queued
+			}
+		}
+		if err := s.send(kind, payload); err != nil {
+			lastErr = err
+			select {
+			case <-ctx.Done():
+				return "", nil, ctx.Err()
+			case <-time.After(200 * time.Millisecond):
+			}
+			continue
+		}
+		timer := time.NewTimer(attemptTimeout)
+	recv:
+		for {
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return "", nil, ctx.Err()
+			case <-timer.C:
+				lastErr = fmt.Errorf("fleet: no %s reply from %s", kind, s.cfg.Coordinator)
+				break recv
+			case msg, ok := <-s.cfg.Endpoint.Receive():
+				if !ok {
+					timer.Stop()
+					return "", nil, fmt.Errorf("fleet: worker endpoint closed")
+				}
+				k, raw, derr := proto.Decode(msg.Payload)
+				if derr != nil {
+					continue
+				}
+				if match(k, raw) {
+					timer.Stop()
+					return k, raw, nil
+				}
+				s.stray(k, raw)
+				if s.drained {
+					timer.Stop()
+					return "", nil, errSessionDrained
+				}
+			}
+		}
+	}
+	return "", nil, fmt.Errorf("fleet: coordinator %s unreachable: %w", s.cfg.Coordinator, lastErr)
+}
+
+// stray handles messages that arrive outside their expected window.
+func (s *workerSession) stray(k proto.Kind, raw json.RawMessage) {
+	if k != proto.KindWait {
+		return
+	}
+	var w proto.Wait
+	if proto.Unmarshal(raw, &w) == nil && w.Drain {
+		s.drained = true
+	}
+}
+
+// send encodes and transmits one message to the coordinator.
+func (s *workerSession) send(kind proto.Kind, payload any) error {
+	data, err := proto.Encode(kind, payload)
+	if err != nil {
+		return err
+	}
+	return s.cfg.Endpoint.Send(s.cfg.Coordinator, data)
+}
+
+// goodbye announces the departure, best effort.
+func (s *workerSession) goodbye() {
+	_ = s.send(proto.KindGoodbye, proto.Goodbye{})
+}
+
+func (s *workerSession) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -14,16 +14,29 @@ const maxFrame = 16 << 20
 // TCPEndpoint is an Endpoint backed by real TCP connections with
 // length-prefixed frames. Addresses are host:port strings; each endpoint
 // listens on its own address and lazily dials peers.
+//
+// Sends to the same peer from multiple goroutines are serialized per
+// connection, so concurrent senders (the fleet worker's heartbeat loop and
+// its record batcher, for example) can share one endpoint without
+// interleaving frames.
 type TCPEndpoint struct {
 	addr     string
 	listener net.Listener
 	ch       chan Message
 
 	mu      sync.Mutex
-	conns   map[string]net.Conn
+	conns   map[string]*lockedConn
 	inbound []net.Conn
 	closed  bool
 	wg      sync.WaitGroup
+}
+
+// lockedConn pairs an outbound connection with a write mutex so two
+// goroutines sending to the same peer cannot interleave their frames on the
+// wire.
+type lockedConn struct {
+	mu   sync.Mutex
+	conn net.Conn
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
@@ -31,15 +44,30 @@ var _ Endpoint = (*TCPEndpoint)(nil)
 // ListenTCP starts an endpoint on the given address ("127.0.0.1:0" picks a
 // free port; use Addr to learn it).
 func ListenTCP(addr string) (*TCPEndpoint, error) {
-	l, err := net.Listen("tcp", addr)
+	return ListenTCPAdvertise(addr, "")
+}
+
+// ListenTCPAdvertise starts an endpoint bound to bind but identifying
+// itself — in Addr and in the From field of every frame it sends — as
+// advertise. Peers reply by dialing an endpoint's advertised address, so a
+// process that binds a wildcard or NAT-internal address (a fleet worker on
+// "0.0.0.0:7001", say) must advertise the address peers can actually
+// reach. An empty advertise uses the bound address, which is correct for
+// loopback and for binds to a concrete routable IP.
+func ListenTCPAdvertise(bind, advertise string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", bind)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("transport: listen %s: %w", bind, err)
+	}
+	addr := advertise
+	if addr == "" {
+		addr = l.Addr().String()
 	}
 	e := &TCPEndpoint{
-		addr:     l.Addr().String(),
+		addr:     addr,
 		listener: l,
 		ch:       make(chan Message, 4096),
-		conns:    make(map[string]net.Conn),
+		conns:    make(map[string]*lockedConn),
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -59,11 +87,10 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	conn, ok := e.conns[to]
+	lc, ok := e.conns[to]
 	e.mu.Unlock()
 	if !ok {
-		var err error
-		conn, err = net.Dial("tcp", to)
+		conn, err := net.Dial("tcp", to)
 		if err != nil {
 			return fmt.Errorf("transport: dial %s: %w", to, err)
 		}
@@ -76,17 +103,23 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 		if existing, dup := e.conns[to]; dup {
 			e.mu.Unlock()
 			_ = conn.Close()
-			conn = existing
+			lc = existing
 		} else {
-			e.conns[to] = conn
+			lc = &lockedConn{conn: conn}
+			e.conns[to] = lc
 			e.mu.Unlock()
 		}
 	}
-	if err := writeFrame(conn, e.addr, payload); err != nil {
+	lc.mu.Lock()
+	err := writeFrame(lc.conn, e.addr, payload)
+	lc.mu.Unlock()
+	if err != nil {
 		e.mu.Lock()
-		delete(e.conns, to)
+		if cur, ok := e.conns[to]; ok && cur == lc {
+			delete(e.conns, to)
+		}
 		e.mu.Unlock()
-		_ = conn.Close()
+		_ = lc.conn.Close()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	return nil
@@ -101,14 +134,14 @@ func (e *TCPEndpoint) Close() error {
 	}
 	e.closed = true
 	conns := e.conns
-	e.conns = map[string]net.Conn{}
+	e.conns = map[string]*lockedConn{}
 	inbound := e.inbound
 	e.inbound = nil
 	e.mu.Unlock()
 
 	_ = e.listener.Close()
 	for _, c := range conns {
-		_ = c.Close()
+		_ = c.conn.Close()
 	}
 	// Closing inbound connections unblocks their reader goroutines, which
 	// Close waits for below.

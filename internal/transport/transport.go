@@ -5,6 +5,9 @@
 //
 // All consensus protocols in this repository (MinBFT, Raft) speak through
 // the Endpoint interface, so tests can inject faults deterministically.
+// The fleet's distributed coordinator (internal/fleet/proto) rides the
+// same TCP endpoint for its lease protocol; docs/ARCHITECTURE.md places
+// both uses in the overall design.
 package transport
 
 import (
