@@ -439,7 +439,8 @@ func stderrLogf(format string, args ...any) {
 }
 
 // cacheHitRate renders the strategy cache's hit rate for the meter line
-// ("" until there have been any requests).
+// ("" until there have been any requests). Arena reuses are excluded: they
+// count slab recycling inside solves, not requests answered from cache.
 func cacheHitRate(stats fleet.CacheStats) string {
 	hits := stats.PolicyHits + stats.RecoveryHits + stats.ReplicationHits + stats.FitHits
 	misses := stats.PolicyBuilds + stats.RecoverySolves + stats.ReplicationSolves + stats.FitSolves
@@ -468,6 +469,10 @@ func printSummary(w io.Writer, s telemetry.Snapshot) {
 	// Merge-only and fully-replayed resume runs never touch the strategy
 	// cache; a zero-valued cache line there would misread as "ran but
 	// solved nothing", so it is printed only when the cache saw traffic.
+	// cache.arena_reuses is deliberately not part of the traffic gate or
+	// the line: arena pooling is memory reuse inside a solve, not a cache
+	// hit, so e.g. a -no-fit-cache run must not have its arena activity
+	// reported as cache activity.
 	builds := s.Counter("cache.policy_builds")
 	solves := s.Counter("cache.recovery_solves") + s.Counter("cache.replication_solves") +
 		s.Counter("cache.fit_solves")

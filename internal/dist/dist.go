@@ -13,7 +13,6 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
-	"sort"
 )
 
 // ErrBadDistribution is returned for invalid distribution parameters.
@@ -90,9 +89,24 @@ func (c *Categorical) Mean() float64 {
 }
 
 // Sample draws one value by inverse-CDF lookup (one rng.Float64 per draw).
+// The binary search is inlined rather than delegated to sort.SearchFloat64s:
+// it performs the identical comparisons on the identical cdf (smallest i with
+// cdf[i] >= u, midpoints by unsigned halving), so the drawn values are
+// bit-identical, without the per-draw closure call the sort.Search form pays
+// on the emulation's per-node observation path.
 func (c *Categorical) Sample(rng *rand.Rand) int {
 	u := rng.Float64()
-	return sort.SearchFloat64s(c.cdf, u)
+	cdf := c.cdf
+	i, j := 0, len(cdf)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if cdf[h] < u {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i
 }
 
 // BetaBinomial is the BetaBin(n, alpha, beta) distribution over {0, ..., n}
@@ -228,14 +242,111 @@ func SampleBinomial(rng *rand.Rand, n int, p float64) int {
 
 // sampleBinomialInv is the single-uniform CDF walk for q^n > 0.
 func sampleBinomialInv(rng *rand.Rand, n int, p, q float64) int {
+	return binomialInvWalk(rng, n, math.Pow(q, float64(n)), p/q)
+}
+
+// binomialInvWalk is the shared CDF walk of SampleBinomial and
+// BinomialSampler: one uniform, pmf recurrence from P[X = 0] = q0 with the
+// fixed odds ratio pq = p/q. Both callers evaluate the recurrence term as
+// (float64(n-k) / float64(k+1)) * pq — the exact expression (and rounding)
+// of the original inline form.
+func binomialInvWalk(rng *rand.Rand, n int, q0, pq float64) int {
 	u := rng.Float64()
-	pk := math.Pow(q, float64(n)) // P[X = 0]
+	pk := q0
 	cdf := pk
 	k := 0
 	for u >= cdf && k < n {
-		pk *= float64(n-k) / float64(k+1) * (p / q)
+		pk *= float64(n-k) / float64(k+1) * pq
 		k++
 		cdf += pk
+	}
+	return k
+}
+
+// binomialPowWindow bounds the q^n memo of BinomialSampler: trial counts
+// below the window hit a precomputed table, larger ones fall back to a
+// direct math.Pow (same value, just not cached), so the sampler never
+// allocates after construction.
+const binomialPowWindow = 1024
+
+// BinomialSampler draws Binomial(n, p) counts for a fixed success
+// probability p and varying n — the emulation's per-step session-departure
+// draw, where p = 1/mu is a scenario constant but n is the fluctuating
+// session count. It replays SampleBinomial's algorithm draw-for-draw (same
+// uniforms, same CDF walk, bit-identical counts) while hoisting the
+// per-call transcendentals: log q for the underflow-chunk test is computed
+// once, and q^n is memoized per trial count in a fixed-size window, so the
+// steady-state sample costs only the O(E[X]) recurrence walk. The zero
+// value is unusable; construct with Reset. Not safe for concurrent use.
+type BinomialSampler struct {
+	p, q     float64
+	pq       float64 // p / q, the recurrence odds ratio
+	lq       float64 // log q, for the underflow-chunk test
+	chunkCap int     // int(-700 / log q): the largest safe chunk
+	always0  bool    // p <= 0 (or NaN)
+	always1  bool    // p >= 1: every trial succeeds
+	// pow[n] = q^n, 0 = not yet computed. A fixed array rather than a
+	// slice, so embedding the sampler (the emulation runner does) costs no
+	// allocation of its own.
+	pow [binomialPowWindow]float64
+}
+
+// Reset re-parameterizes the sampler for success probability p. The q^n
+// memo is kept when p is unchanged (the common scenario-to-scenario case)
+// and invalidated otherwise.
+func (s *BinomialSampler) Reset(p float64) {
+	if p != s.p || s.always0 || s.always1 {
+		clear(s.pow[:])
+	}
+	s.p = p
+	s.always0 = p <= 0 || math.IsNaN(p)
+	s.always1 = p >= 1
+	if s.always0 || s.always1 {
+		return
+	}
+	s.q = 1 - p
+	s.pq = s.p / s.q
+	s.lq = math.Log(s.q)
+	s.chunkCap = int(-700 / s.lq)
+}
+
+// qPow returns q^n, from the memo window when n fits.
+func (s *BinomialSampler) qPow(n int) float64 {
+	if n < len(s.pow) {
+		if v := s.pow[n]; v != 0 {
+			return v
+		}
+		v := math.Pow(s.q, float64(n))
+		s.pow[n] = v
+		return v
+	}
+	return math.Pow(s.q, float64(n))
+}
+
+// Sample draws a Binomial(n, p) count, consuming exactly the uniforms
+// SampleBinomial(rng, n, p) would consume and returning the same count.
+func (s *BinomialSampler) Sample(rng *rand.Rand, n int) int {
+	if n <= 0 || s.always0 {
+		return 0
+	}
+	if s.always1 {
+		return n
+	}
+	chunk := n
+	if float64(n)*s.lq < -700 {
+		chunk = s.chunkCap
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	k := 0
+	for n > 0 {
+		m := n
+		if m > chunk {
+			m = chunk
+		}
+		k += binomialInvWalk(rng, m, s.qPow(m), s.pq)
+		n -= m
 	}
 	return k
 }
@@ -257,7 +368,12 @@ func SamplePoisson(rng *rand.Rand, lambda float64) int {
 }
 
 func samplePoissonKnuth(rng *rand.Rand, lambda float64) int {
-	l := math.Exp(-lambda)
+	return poissonKnuthL(rng, math.Exp(-lambda))
+}
+
+// poissonKnuthL is Knuth's product-of-uniforms loop against a precomputed
+// threshold l = exp(-lambda).
+func poissonKnuthL(rng *rand.Rand, l float64) int {
 	k := 0
 	p := 1.0
 	for {
@@ -267,6 +383,50 @@ func samplePoissonKnuth(rng *rand.Rand, lambda float64) int {
 		}
 		k++
 	}
+}
+
+// PoissonSampler draws Poisson(lambda) counts for a fixed rate — the
+// emulation's per-step session-arrival draw, where lambda is a scenario
+// constant. It replays SamplePoisson draw-for-draw (same chunk split, same
+// uniforms, bit-identical counts) with the exp(-lambda) thresholds hoisted
+// out of the per-step path. The zero value always samples 0; construct with
+// Reset. Safe for concurrent use after Reset.
+type PoissonSampler struct {
+	chunks  int     // full size-30 chunks of the additivity split
+	lFull   float64 // exp(-30)
+	lRem    float64 // exp(-remainder), remainder by repeated subtraction
+	always0 bool
+}
+
+// Reset re-parameterizes the sampler for rate lambda, reproducing
+// SamplePoisson's chunk decomposition exactly (including the remainder
+// computed by repeated subtraction, so the thresholds match bit-for-bit).
+func (s *PoissonSampler) Reset(lambda float64) {
+	*s = PoissonSampler{}
+	if lambda <= 0 || math.IsNaN(lambda) {
+		s.always0 = true
+		return
+	}
+	const chunk = 30
+	for lambda > chunk {
+		s.chunks++
+		lambda -= chunk
+	}
+	s.lFull = math.Exp(-float64(chunk))
+	s.lRem = math.Exp(-lambda)
+}
+
+// Sample draws a Poisson(lambda) count, consuming exactly the uniforms
+// SamplePoisson(rng, lambda) would consume and returning the same count.
+func (s *PoissonSampler) Sample(rng *rand.Rand) int {
+	if s.always0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < s.chunks; i++ {
+		n += poissonKnuthL(rng, s.lFull)
+	}
+	return n + poissonKnuthL(rng, s.lRem)
 }
 
 // KLSmoothed returns the Kullback-Leibler divergence D_KL(p || q) in nats

@@ -76,6 +76,13 @@ type FitSet struct {
 	fits    []*ids.FittedZ
 	// zh[i][o] = Ẑ_i(o | H), zc[i][o] = Ẑ_i(o | C) for container i.
 	zh, zc [][]float64
+	// zhFlat and zcFlat are the same tables as one dense slab each, row i at
+	// offset i*support — the layout the runner's SoA belief lanes gather
+	// from, so the per-node likelihood lookup is a base offset plus the
+	// observation, with no per-node slice header chasing.
+	zhFlat, zcFlat []float64
+	// support is the per-container row length (the alert support).
+	support int
 }
 
 // NewFitSet fits Ẑ for every catalog container with m samples per state,
@@ -104,6 +111,13 @@ func NewFitSet(m int, seed int64) (*FitSet, error) {
 		fs.fits[i] = fit
 		fs.zh[i] = fit.Healthy.Probs()
 		fs.zc[i] = fit.Compromised.Probs()
+	}
+	fs.support = ids.AlertSupport
+	fs.zhFlat = make([]float64, len(catalog)*fs.support)
+	fs.zcFlat = make([]float64, len(catalog)*fs.support)
+	for i := range catalog {
+		copy(fs.zhFlat[i*fs.support:], fs.zh[i])
+		copy(fs.zcFlat[i*fs.support:], fs.zc[i])
 	}
 	return fs, nil
 }

@@ -137,25 +137,105 @@ type Metrics struct {
 	Evictions, Additions int
 }
 
-// simNode is one virtual node of the testbed. zh and zc are the node
-// controller's dense likelihood tables Ẑ(.|H), Ẑ(.|C) for the node's
-// current container (rows of the scenario's FitSet). The intrusion tracker
-// is embedded by value (underAttack marks it live), so starting a campaign
-// never allocates.
+// simNode is one virtual node of the testbed: the environment-side state
+// (container, compromise progress, attack campaign) plus the BTR calendar
+// offset. The monitoring-side state the node controller iterates every step
+// — belief, last action, pending alert boosts, Ẑ table offsets — lives in
+// the runner's beliefLanes (struct-of-arrays), so the per-step belief
+// recursion runs over dense slices instead of chasing node pointers. The
+// intrusion tracker is embedded by value (underAttack marks it live), so
+// starting a campaign never allocates.
 type simNode struct {
 	id            int
 	container     Container
-	zh, zc        []float64
 	state         nodemodel.State
 	intrusion     attacker.Intrusion
 	underAttack   bool
 	behaviour     attacker.Behaviour
-	belief        float64
 	phase         int // BTR calendar offset
-	lastAction    nodemodel.Action
-	pendingBoost  int
 	compromisedAt int
-	lastObs       int
+}
+
+// beliefLanes is the per-node monitoring state in struct-of-arrays form,
+// indexed by the node's position in runner.nodes. The persistent lanes
+// (belief, off, boost, action, mark) are appended on spawn, compacted in
+// lockstep with node eviction and truncated with the node set; obs, zh and
+// zc are per-step outputs of the observation pass (length = node count at
+// the start of the step, so they still cover nodes evicted later in the
+// step). Lane backing arrays are reused across steps and across scenarios,
+// preserving the warm-runner zero-allocation property.
+type beliefLanes struct {
+	belief []float64 // node-controller belief b_t
+	off    []int32   // flat Ẑ slab offset = container index × alert support
+	boost  []int32   // pending alert boost from the ongoing intrusion
+	action []uint8   // last action (uint8(nodemodel.Wait) = 0, Recover = 1)
+	mark   []uint32  // forced-recovery epoch mark (stage 2 membership test)
+	obs    []int     // this step's observations (also the AddNode context)
+	zh, zc []float64 // gathered likelihoods Ẑ(o_i|H), Ẑ(o_i|C)
+}
+
+// appendNode adds one node's monitoring state (fresh belief pa, Ẑ offset
+// off) to the persistent lanes.
+func (l *beliefLanes) appendNode(pa float64, off int32) {
+	l.belief = append(l.belief, pa)
+	l.off = append(l.off, off)
+	l.boost = append(l.boost, 0)
+	l.action = append(l.action, 0)
+	l.mark = append(l.mark, 0)
+}
+
+// move copies the persistent lane entries of src to dst (eviction
+// compaction, mirroring the node-slice compaction).
+func (l *beliefLanes) move(dst, src int) {
+	l.belief[dst] = l.belief[src]
+	l.off[dst] = l.off[src]
+	l.boost[dst] = l.boost[src]
+	l.action[dst] = l.action[src]
+	l.mark[dst] = l.mark[src]
+}
+
+// truncate shortens the persistent lanes to n entries, keeping capacity.
+func (l *beliefLanes) truncate(n int) {
+	l.belief = l.belief[:n]
+	l.off = l.off[:n]
+	l.boost = l.boost[:n]
+	l.action = l.action[:n]
+	l.mark = l.mark[:n]
+}
+
+// reserve sizes every lane for n nodes in one shot. The replication cap
+// s_max bounds the node count for the whole run, so reserving once at reset
+// replaces the per-lane append-doubling series with a single allocation per
+// lane — and a runner reused across scenarios of equal cap never allocates
+// lanes again. Only called on empty lanes (after truncate(0)).
+func (l *beliefLanes) reserve(n int) {
+	fl := make([]float64, 3*n)
+	l.belief = fl[0:0:n]
+	l.zh = fl[n : n : 2*n]
+	l.zc = fl[2*n : 2*n : 3*n]
+	i32 := make([]int32, 2*n)
+	l.off = i32[0:0:n]
+	l.boost = i32[n : n : 2*n]
+	l.action = make([]uint8, 0, n)
+	l.mark = make([]uint32, 0, n)
+	l.obs = make([]int, 0, n)
+}
+
+// growFloats returns s resized to n entries, reusing its backing array when
+// the capacity suffices (the steady-state case).
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInts is growFloats for int slices.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // runner holds one scenario run's state: the rng streams, the node set,
@@ -188,10 +268,21 @@ type runner struct {
 	obsCount       int
 	sessions       int
 
-	// Per-step scratch, reused across steps.
-	observations []int
-	recovering   []*simNode
-	candidates   []*simNode
+	// ln is the SoA monitoring state (see beliefLanes); epoch stamps the
+	// per-step forced-recovery marks, so stage 2's membership test is one
+	// lane compare instead of a scan over the recovering list.
+	ln    beliefLanes
+	epoch uint32
+
+	// Fixed-parameter workload samplers: draw-identical to the
+	// dist.SamplePoisson/SampleBinomial calls they replace, with the
+	// per-step transcendentals hoisted into reset.
+	poisson dist.PoissonSampler
+	binom   dist.BinomialSampler
+
+	// Per-step scratch, reused across steps (node indices into r.nodes).
+	recovering []int32
+	candidates []int32
 }
 
 // reset validates the scenario, resolves the offline fit, recycles the
@@ -230,7 +321,13 @@ func (r *runner) reset(s Scenario) error {
 	r.availableSteps, r.quorumSteps, r.nodeSteps = 0, 0, 0
 	r.totalNodes, r.costSum, r.obsSum = 0, 0, 0
 	r.obsCount, r.sessions = 0, 0
-	r.observations = r.observations[:0]
+	r.ln.truncate(0)
+	if cap(r.ln.belief) < s.SMax {
+		r.ln.reserve(s.SMax)
+	}
+	r.epoch = 0
+	r.poisson.Reset(s.Workload.Lambda)
+	r.binom.Reset(1 / s.Workload.MeanServiceSteps)
 	r.recovering = r.recovering[:0]
 	r.candidates = r.candidates[:0]
 	for i := 0; i < s.N1; i++ {
@@ -238,7 +335,7 @@ func (r *runner) reset(s Scenario) error {
 		if s.DeltaR != recovery.InfiniteDeltaR {
 			phase = (i * s.DeltaR) / s.N1 // stagger forced recoveries
 		}
-		r.nodes = append(r.nodes, r.spawn(i, phase))
+		r.spawn(i, phase)
 	}
 	r.nextID = s.N1
 	return nil
@@ -254,9 +351,11 @@ func newRunner(s Scenario) (*runner, error) {
 	return r, nil
 }
 
-// spawn returns a node running a uniformly drawn catalog image, recycling
-// a previously evicted node struct when one is available.
-func (r *runner) spawn(id, phase int) *simNode {
+// spawn appends a node running a uniformly drawn catalog image — recycling
+// a previously evicted node struct when one is available — together with
+// its monitoring-lane entries (fresh belief pA, the container's Ẑ slab
+// offset).
+func (r *runner) spawn(id, phase int) {
 	var n *simNode
 	if k := len(r.pool); k > 0 {
 		n, r.pool = r.pool[k-1], r.pool[:k-1]
@@ -267,14 +366,12 @@ func (r *runner) spawn(id, phase int) *simNode {
 	*n = simNode{
 		id:            id,
 		container:     r.fits.Container(ci),
-		zh:            r.fits.zh[ci],
-		zc:            r.fits.zc[ci],
 		state:         nodemodel.Healthy,
-		belief:        r.s.Params.PA,
 		phase:         phase,
 		compromisedAt: -1,
 	}
-	return n
+	r.nodes = append(r.nodes, n)
+	r.ln.appendNode(r.s.Params.PA, int32(ci*r.fits.support))
 }
 
 // Runner executes scenarios with state that is reused from one run to the
@@ -339,115 +436,142 @@ func Run(s Scenario) (*Metrics, error) {
 func (r *runner) step(t int) {
 	s := &r.s
 	rng := r.rng
+	L := &r.ln
 
 	// Background client population (Poisson arrivals, exponential service
 	// approximated by geometric departures — a Binomial(sessions, 1/mu)
 	// thinning per step); the load adds baseline alert noise. Both draws
-	// come from the dedicated workload stream.
-	r.sessions += dist.SamplePoisson(r.wrng, s.Workload.Lambda)
-	r.sessions -= dist.SampleBinomial(r.wrng, r.sessions, 1/s.Workload.MeanServiceSteps)
+	// come from the dedicated workload stream, through the fixed-parameter
+	// samplers (draw-identical to the dist.Sample* calls they hoist).
+	r.sessions += r.poisson.Sample(r.wrng)
+	r.sessions -= r.binom.Sample(r.wrng, r.sessions)
 	load := float64(r.sessions) / (s.Workload.Lambda * s.Workload.MeanServiceSteps)
 
-	// 1. Observations and belief updates.
-	observations := r.observations[:0]
-	for _, n := range r.nodes {
-		obs := n.container.Profile.Sample(rng, n.state == nodemodel.Compromised)
-		obs += n.pendingBoost
-		n.pendingBoost = 0
-		if dist.SampleBernoulli(rng, 0.1*load) {
+	// 1. Observations and belief updates, in two passes over the lanes.
+	// Pass one draws each node's observation — strictly in node order, the
+	// rng draw order is part of the determinism contract — and gathers the
+	// observation's likelihood pair from the FitSet slabs into dense lanes.
+	// Pass two is the batched Appendix-A recursion over those lanes
+	// (updateBeliefLanes): contiguous loads and multiplies with no per-node
+	// pointer or branch work, bit-identical to the scalar recursion.
+	n := len(r.nodes)
+	obsLane := growInts(L.obs, n)
+	zhLane := growFloats(L.zh, n)
+	zcLane := growFloats(L.zc, n)
+	zhFlat, zcFlat := r.fits.zhFlat, r.fits.zcFlat
+	pFalse := 0.1 * load // background-traffic false-alert probability
+	for i, nd := range r.nodes {
+		obs := nd.container.Profile.Sample(rng, nd.state == nodemodel.Compromised)
+		obs += int(L.boost[i])
+		L.boost[i] = 0
+		if dist.SampleBernoulli(rng, pFalse) {
 			obs++ // background-traffic false alert
 		}
 		if obs >= ids.AlertSupport {
 			obs = ids.AlertSupport - 1
 		}
-		n.lastObs = obs
-		observations = append(observations, obs)
+		obsLane[i] = obs
 		r.obsSum += float64(obs)
-		r.obsCount++
-		n.belief = updateBeliefFitted(s.Params, n.zh, n.zc, n.belief, n.lastAction, obs)
+		flat := int(L.off[i]) + obs
+		zhLane[i] = zhFlat[flat]
+		zcLane[i] = zcFlat[flat]
 	}
-	r.observations = observations
+	r.obsCount += n
+	L.obs, L.zh, L.zc = obsLane, zhLane, zcLane
+	updateBeliefLanes(s.Params, L.belief, L.action, zhLane, zcLane)
 
 	// 2. Action selection: forced calendar recoveries first, then the
 	// policy's threshold recoveries, capped at k parallel recoveries.
+	// Forced nodes are marked with this step's epoch, so the exclusion
+	// test below is one lane compare per node instead of the old O(k·n)
+	// scan over the recovering list.
+	r.epoch++
+	epoch := r.epoch
 	recovering := r.recovering[:0]
 	if s.Policy.UsesBTR() && s.DeltaR != recovery.InfiniteDeltaR {
-		for _, n := range r.nodes {
-			if (t+n.phase)%s.DeltaR == 0 && len(recovering) < s.K {
-				recovering = append(recovering, n)
+		for i, nd := range r.nodes {
+			if (t+nd.phase)%s.DeltaR == 0 && len(recovering) < s.K {
+				recovering = append(recovering, int32(i))
+				L.mark[i] = epoch
 			}
 		}
 	}
 	// Threshold recoveries in descending belief order.
 	candidates := r.candidates[:0]
-	for _, n := range r.nodes {
-		if containsNode(recovering, n) {
+	for i, nd := range r.nodes {
+		if L.mark[i] == epoch {
 			continue
 		}
-		windowPos := t + n.phase
+		windowPos := t + nd.phase
 		if s.DeltaR != recovery.InfiniteDeltaR {
-			windowPos = (t + n.phase) % s.DeltaR
+			windowPos = (t + nd.phase) % s.DeltaR
 			if windowPos == 0 {
 				continue
 			}
 		}
 		action := s.Policy.NodeAction(baselines.NodeContext{
-			Belief:    n.belief,
-			Obs:       n.lastObs,
+			Belief:    L.belief[i],
+			Obs:       obsLane[i],
 			WindowPos: windowPos,
 			DeltaR:    s.DeltaR,
 		})
 		if action == nodemodel.Recover {
-			candidates = append(candidates, n)
+			candidates = append(candidates, int32(i))
 		}
 	}
-	sortByBelief(candidates)
-	for _, n := range candidates {
+	sortIndicesByBelief(candidates, L.belief)
+	for _, ci := range candidates {
 		if len(recovering) >= s.K {
 			break
 		}
-		recovering = append(recovering, n)
+		recovering = append(recovering, ci)
 	}
 	r.recovering, r.candidates = recovering, candidates
 
 	// 3. Apply recoveries: the container is replaced with a random
 	// image from Table 4 (§VIII-A) and the belief resets.
-	for _, n := range r.nodes {
-		n.lastAction = nodemodel.Wait
-	}
-	for _, n := range recovering {
+	clear(L.action)
+	for _, ci := range recovering {
+		i := int(ci)
+		nd := r.nodes[i]
 		r.m.Recoveries++
-		if n.compromisedAt >= 0 {
-			r.recoveryTimes = append(r.recoveryTimes, float64(t-n.compromisedAt))
-			n.compromisedAt = -1
+		if nd.compromisedAt >= 0 {
+			r.recoveryTimes = append(r.recoveryTimes, float64(t-nd.compromisedAt))
+			nd.compromisedAt = -1
 		}
-		ci := rng.Intn(r.fits.Len())
-		n.container = r.fits.Container(ci)
-		n.zh = r.fits.zh[ci]
-		n.zc = r.fits.zc[ci]
-		n.state = nodemodel.Healthy
-		n.underAttack = false
-		n.belief = s.Params.PA
-		n.lastAction = nodemodel.Recover
+		k := rng.Intn(r.fits.Len())
+		nd.container = r.fits.Container(k)
+		L.off[i] = int32(k * r.fits.support)
+		nd.state = nodemodel.Healthy
+		nd.underAttack = false
+		L.belief[i] = s.Params.PA
+		L.action[i] = uint8(nodemodel.Recover)
 	}
 
 	// 4. System controller: evict crashed nodes (they failed to report
-	// a belief, §V-B), then decide whether to add one.
+	// a belief, §V-B), then decide whether to add one. The lanes compact
+	// in lockstep with the node slice.
 	evictedNow := 0
 	alive := r.nodes[:0]
-	for _, n := range r.nodes {
-		if n.state == nodemodel.Crashed {
+	j := 0
+	for i, nd := range r.nodes {
+		if nd.state == nodemodel.Crashed {
 			r.m.Evictions++
 			evictedNow++
-			r.pool = append(r.pool, n)
+			r.pool = append(r.pool, nd)
 			continue
 		}
-		alive = append(alive, n)
+		if j != i {
+			L.move(j, i)
+		}
+		alive = append(alive, nd)
+		j++
 	}
 	r.nodes = alive
+	L.truncate(j)
 	healthyEstimate := 0.0
-	for _, n := range r.nodes {
-		healthyEstimate += 1 - n.belief
+	for _, b := range L.belief {
+		healthyEstimate += 1 - b
 	}
 	est := int(math.Floor(healthyEstimate))
 	if est > s.SMax {
@@ -460,7 +584,7 @@ func (r *runner) step(t int) {
 	if len(r.nodes) < s.SMax && s.Policy.AddNode(baselines.SystemContext{
 		HealthyEstimate: est,
 		AliveNodes:      len(r.nodes),
-		Observations:    observations,
+		Observations:    obsLane,
 		MeanObs:         meanObs,
 		Rng:             rng,
 	}) {
@@ -468,7 +592,7 @@ func (r *runner) step(t int) {
 		if s.DeltaR != recovery.InfiniteDeltaR {
 			phase = rng.Intn(s.DeltaR)
 		}
-		r.nodes = append(r.nodes, r.spawn(r.nextID, phase))
+		r.spawn(r.nextID, phase)
 		r.nextID++
 		r.m.Additions++
 	}
@@ -477,14 +601,14 @@ func (r *runner) step(t int) {
 	// compromised or crashed (§III-C; crashed nodes were evicted in
 	// stage 4, so they are exactly this step's eviction count).
 	compromised := 0
-	for _, n := range r.nodes {
+	for i, nd := range r.nodes {
 		switch {
-		case n.lastAction == nodemodel.Recover:
+		case L.action[i] == uint8(nodemodel.Recover):
 			r.costSum++ // eq. (5): a recovery costs 1
-		case n.state == nodemodel.Compromised:
+		case nd.state == nodemodel.Compromised:
 			r.costSum += s.Params.Eta // eq. (5): waiting while compromised
 		}
-		if n.state == nodemodel.Compromised {
+		if nd.state == nodemodel.Compromised {
 			compromised++
 		}
 	}
@@ -498,42 +622,42 @@ func (r *runner) step(t int) {
 	r.totalNodes += float64(len(r.nodes))
 
 	// 6. Environment transition: intrusions, crashes, updates.
-	for _, n := range r.nodes {
-		switch n.state {
+	for i, nd := range r.nodes {
+		switch nd.state {
 		case nodemodel.Healthy:
 			if dist.SampleBernoulli(rng, s.Params.PC1) {
-				n.state = nodemodel.Crashed
+				nd.state = nodemodel.Crashed
 				continue
 			}
-			if !n.underAttack && dist.SampleBernoulli(rng, s.Params.PA) {
-				if err := n.intrusion.Begin(n.container.ID); err == nil {
-					n.underAttack = true
+			if !nd.underAttack && dist.SampleBernoulli(rng, s.Params.PA) {
+				if err := nd.intrusion.Begin(nd.container.ID); err == nil {
+					nd.underAttack = true
 				}
 			}
-			if n.underAttack {
-				n.pendingBoost += n.intrusion.Advance(rng)
-				if n.intrusion.Done() {
-					n.state = nodemodel.Compromised
-					n.behaviour = n.intrusion.Behaviour
-					n.compromisedAt = t
+			if nd.underAttack {
+				L.boost[i] += int32(nd.intrusion.Advance(rng))
+				if nd.intrusion.Done() {
+					nd.state = nodemodel.Compromised
+					nd.behaviour = nd.intrusion.Behaviour
+					nd.compromisedAt = t
 					r.m.Intrusions++
 				}
 			}
 		case nodemodel.Compromised:
 			if dist.SampleBernoulli(rng, s.Params.PC2) {
-				n.state = nodemodel.Crashed
-				if n.compromisedAt >= 0 {
+				nd.state = nodemodel.Crashed
+				if nd.compromisedAt >= 0 {
 					r.recoveryTimes = append(r.recoveryTimes, recovery.NoRecoveryPenalty)
-					n.compromisedAt = -1
+					nd.compromisedAt = -1
 				}
 				continue
 			}
 			if dist.SampleBernoulli(rng, s.Params.PU) {
 				// Software update silently cleans the node (eq. 2g);
 				// not a controller recovery, so T(R) is not recorded.
-				n.state = nodemodel.Healthy
-				n.underAttack = false
-				n.compromisedAt = -1
+				nd.state = nodemodel.Healthy
+				nd.underAttack = false
+				nd.compromisedAt = -1
 			}
 		}
 	}
@@ -582,19 +706,59 @@ func updateBeliefFitted(p nodemodel.Params, zh, zc []float64, belief float64, ac
 	return math.Min(1, math.Max(0, b))
 }
 
-func containsNode(list []*simNode, n *simNode) bool {
-	for _, x := range list {
-		if x == n {
-			return true
-		}
+// updateBeliefLanes is the batched form of updateBeliefFitted: one pass of
+// the Appendix A recursion over the dense belief/action/likelihood lanes,
+// with the model constants hoisted out of the loop. Every per-element
+// floating-point operation is the same expression, in the same order, as
+// the scalar recursion through Params.PredictBelief, so the updated beliefs
+// are bit-identical (guarded by TestBeliefLanesMatchScalar); hoisting
+// (1-pC1), (1-pC2) and (1-pU) is bit-safe because each is still computed by
+// the identical single subtraction. The clamp is branch form rather than
+// math.Min/math.Max: num >= +0 and den > 0 exclude NaN and -0, so the
+// branches return the same bits while keeping libm calls out of the loop.
+func updateBeliefLanes(p nodemodel.Params, belief []float64, action []uint8, zh, zc []float64) {
+	if len(action) < len(belief) || len(zh) < len(belief) || len(zc) < len(belief) {
+		panic("emulation: belief lane shape")
 	}
-	return false
+	pa := p.PA
+	keepH := 1 - p.PC1 // healthy survival (eq. 2a-2e row mass)
+	keepC := 1 - p.PC2 // compromised survival
+	stayC := 1 - p.PU  // compromised and not cleaned by an update
+	for i, b := range belief {
+		pred := pa // recover action resets the compromise prior (eq. 2f-2i)
+		if action[i] == uint8(nodemodel.Wait) {
+			wh := (1 - b) * keepH
+			wc := b * keepC
+			surv := wh + wc
+			if surv <= 0 {
+				pred = b
+			} else {
+				pred = (wh*pa + wc*stayC) / surv
+			}
+		}
+		num := zc[i] * pred
+		den := num + zh[i]*(1-pred)
+		if den <= 0 {
+			continue // degenerate likelihoods: the belief carries over
+		}
+		nb := num / den
+		if nb > 1 {
+			nb = 1
+		} else if nb < 0 {
+			nb = 0
+		}
+		belief[i] = nb
+	}
 }
 
-func sortByBelief(nodes []*simNode) {
-	for i := 1; i < len(nodes); i++ {
-		for j := i; j > 0 && nodes[j].belief > nodes[j-1].belief; j-- {
-			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+// sortIndicesByBelief sorts candidate node indices in descending belief
+// order over the belief lane — the same stable insertion sort (ties keep
+// node order) the node-pointer form used, without the pointer chase per
+// comparison.
+func sortIndicesByBelief(idx []int32, belief []float64) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && belief[idx[j]] > belief[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
 }
@@ -630,8 +794,11 @@ func (w *Welford) Add(x float64) {
 // been appended to w's stream (Chan et al.'s parallel combination of the
 // running moments). Merging the pieces of a split stream reproduces the
 // single-stream mean and variance up to floating-point rounding; exact
-// bit-identity with a sequential fold is not guaranteed, which is why the
-// fleet's shard merge replays per-scenario records instead.
+// bit-identity with a sequential Add fold is not guaranteed. Merge itself
+// is deterministic, which is what the fleet relies on: it folds through
+// fixed-span partials whose boundaries are a pure function of the
+// schedule, so every path (workers, shard-merge, resume, coordinator)
+// performs the identical Merge sequence and stays byte-identical.
 func (w *Welford) Merge(other Welford) {
 	if other.Count == 0 {
 		return
@@ -697,8 +864,10 @@ func (a *Accumulator) Add(m *Metrics) {
 }
 
 // Merge folds another accumulator's summaries into a, as if the other's
-// runs had been appended to a's stream. It lets shard-local aggregates from
-// distributed fleet runs combine into one summary without the raw samples.
+// runs had been appended to a's stream. The fleet engine folds through
+// fixed-span per-cell partials merged in schedule order, so Merge sits on
+// the byte-stability path: it must stay deterministic (same inputs, same
+// bits) even though it is not bit-equivalent to a sequential Add fold.
 func (a *Accumulator) Merge(other *Accumulator) {
 	a.Availability.Merge(other.Availability)
 	a.QuorumAvailability.Merge(other.QuorumAvailability)

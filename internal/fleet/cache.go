@@ -89,6 +89,12 @@ type StrategyCache struct {
 	policies    map[string]*cacheEntry[baselines.Policy]
 	scenarios   map[string]*cacheEntry[emulation.Scenario]
 
+	// arenas pools the DP solver's scratch arenas across Recovery solves:
+	// one suite's cells solve through a shared slab set instead of
+	// re-allocating per cell. Arenas are scratch only — DPSolution buffers
+	// are never arena-backed — so pooling cannot alias cached solutions.
+	arenas sync.Pool
+
 	recoverySolves    atomic.Int64
 	recoveryHits      atomic.Int64
 	replicationSolves atomic.Int64
@@ -97,6 +103,10 @@ type StrategyCache struct {
 	fitHits           atomic.Int64
 	policyBuilds      atomic.Int64
 	policyHits        atomic.Int64
+	// arenaReuses counts DP solves that ran on a pooled arena instead of a
+	// fresh one. It is a memory-reuse gauge, not cache activity: a reuse
+	// does not imply any solution was shared.
+	arenaReuses atomic.Int64
 
 	// tel is the attached telemetry bundle (nil until Instrument). It is an
 	// atomic pointer so attaching never contends with the lock-free hot
@@ -137,6 +147,7 @@ func (c *StrategyCache) Instrument(col *telemetry.Collector) {
 	col.CounterFunc("cache.fit_hits", c.fitHits.Load)
 	col.CounterFunc("cache.policy_builds", c.policyBuilds.Load)
 	col.CounterFunc("cache.policy_hits", c.policyHits.Load)
+	col.CounterFunc("cache.arena_reuses", c.arenaReuses.Load)
 	c.tel.Store(&cacheTelemetry{
 		training: telemetry.NewTraining(col),
 		waits:    col.Counter("cache.singleflight_waits"),
@@ -242,7 +253,14 @@ func (c *StrategyCache) Recovery(p nodemodel.Params, cfg recovery.DPConfig) (*re
 	return entry.compute(func() (*recovery.DPSolution, error) {
 		c.recoverySolves.Add(1)
 		start := time.Now()
-		sol, err := recovery.SolveDP(p, cfg)
+		arena, pooled := c.arenas.Get().(*recovery.Arena)
+		if pooled {
+			c.arenaReuses.Add(1)
+		} else {
+			arena = recovery.NewArena()
+		}
+		sol, err := recovery.SolveDPWith(p, cfg, arena)
+		c.arenas.Put(arena)
 		if t := c.tel.Load(); t != nil {
 			t.solveNS.Observe(0, int64(time.Since(start)))
 		}

@@ -141,12 +141,35 @@ type outcome struct {
 	err     error
 }
 
+// foldSpan is the fixed width, in scheduled positions, of one dispatch
+// batch and one fold partial. It is a constant — a pure function of the
+// schedule, never of the worker count or core count — because the partial
+// boundaries are part of the determinism contract: the aggregator merges
+// one partial per (batch, cell) run in batch order, so the floating-point
+// fold tree is identical for every Workers value and GOMAXPROCS setting.
+// MergeRecords replicates the same spans, which keeps whole runs,
+// shard-merges, resumes and coordinator merges byte-identical to each
+// other.
+const foldSpan = 8
+
+// cellPartial is one batch's pre-folded accumulator for a run of
+// consecutive outcomes sharing a cell. Workers fold their own outcomes
+// into partials so the aggregator does per-batch Merge calls instead of
+// per-scenario Add calls — the folding work scales across cores while the
+// merge tree stays fixed.
+type cellPartial struct {
+	cell int
+	acc  emulation.Accumulator
+}
+
 // batchResult carries the outcomes of one contiguous slice of scheduled
-// positions, [start, start+len(outs)). Buffers cycle through batchPool:
-// workers take one per batch, the aggregator returns it after folding.
+// positions, [start, start+len(outs)), plus the worker's pre-folded
+// per-cell partials over those outcomes. Buffers cycle through batchPool:
+// workers take one per batch, the aggregator returns it after merging.
 type batchResult struct {
 	start int
 	outs  []outcome
+	parts []cellPartial
 }
 
 var batchPool = sync.Pool{New: func() any { return new(batchResult) }}
@@ -163,10 +186,12 @@ type cellState struct {
 // Run expands the suite and executes every scheduled scenario — the whole
 // grid, or the Config.Shard slice of it — on a bounded worker pool.
 // Scenarios already present in Config.Completed fold from their stored
-// metrics instead of re-running. Per-run metrics stream into per-cell
-// Welford accumulators in strict scenario-index order, so the aggregates
-// are bit-identical for any worker count; with the strategy cache each
-// distinct control problem is solved exactly once.
+// metrics instead of re-running. Workers pre-fold each batch's metrics
+// into per-cell Welford partials, and the aggregator merges the partials
+// in strict batch order over fixed foldSpan-wide batches — the fold tree
+// is a pure function of the schedule, so the aggregates are bit-identical
+// for any worker count; with the strategy cache each distinct control
+// problem is solved exactly once.
 func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	suite = suite.withDefaults()
 	if err := suite.Validate(); err != nil {
@@ -258,16 +283,11 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 	// one atomic counter — one channel round-trip per batch instead of two
 	// per scenario — and execute them on a worker-resident emulation runner
 	// whose node pool, rng streams and scratch survive from scenario to
-	// scenario. Outcome buffers cycle through a pool, so the steady-state
-	// per-scenario path allocates nothing.
-	batch := total / (cfg.Workers * 4)
-	if batch < 1 {
-		batch = 1
-	}
-	if batch > 32 {
-		batch = 32
-	}
-	numBatches := (total + batch - 1) / batch
+	// scenario. The batch width is the fixed foldSpan, so the fold partials
+	// each batch pre-computes are a pure function of the schedule. Outcome
+	// buffers cycle through a pool, so the steady-state per-scenario path
+	// allocates nothing.
+	numBatches := (total + foldSpan - 1) / foldSpan
 
 	outcomes := make(chan *batchResult, cfg.Workers)
 	var nextBatch atomic.Int64
@@ -288,11 +308,12 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 				if tm != nil {
 					tm.batches.Inc(wid)
 				}
-				start := bi * batch
-				end := min(start+batch, total)
+				start := bi * foldSpan
+				end := min(start+foldSpan, total)
 				br, _ := batchPool.Get().(*batchResult)
 				br.start = start
 				br.outs = br.outs[:0]
+				br.parts = br.parts[:0]
 				failed := false
 				for pos := start; pos < end && !failed; pos++ {
 					if ctx.Err() != nil {
@@ -337,6 +358,16 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 						}
 					}
 					br.outs = append(br.outs, oc)
+					if oc.err == nil {
+						// Pre-fold into the batch's cell partials. Scheduled
+						// indices ascend within a batch, so cells are
+						// non-decreasing and each cell is one contiguous run:
+						// a new partial starts exactly at each cell change.
+						if n := len(br.parts); n == 0 || br.parts[n-1].cell != oc.cell {
+							br.parts = append(br.parts, cellPartial{cell: oc.cell})
+						}
+						br.parts[len(br.parts)-1].acc.Add(&oc.metrics)
+					}
 					failed = oc.err != nil
 				}
 				// The send is unconditional: the aggregator drains the
@@ -357,12 +388,14 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 		close(outcomes)
 	}()
 
-	// Aggregator: fold in strict scenario-index order. Out-of-order batch
-	// completions park in a small reorder buffer (bounded in practice by
-	// the worker count) so the Welford folds — and therefore every floating
-	// point result — are independent of scheduling. Checkpoint records are
-	// emitted from the same ordered drain, so a checkpoint file is always
-	// an index-ordered prefix of the shard's work.
+	// Aggregator: merge pre-folded batch partials in strict batch order.
+	// Out-of-order batch completions park in a small reorder buffer
+	// (bounded in practice by the worker count), and the partial spans are
+	// fixed by foldSpan — so the Welford merge tree, and therefore every
+	// floating-point result, is independent of scheduling and worker count.
+	// Checkpoint records are emitted from the same ordered drain, so a
+	// checkpoint file is always an index-ordered prefix of the shard's
+	// work.
 	accs := make([]emulation.Accumulator, len(cells))
 	pending := make(map[int]*batchResult)
 	next := 0
@@ -388,13 +421,19 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 				break
 			}
 			delete(pending, next)
-			for i := range b.outs {
-				oc := &b.outs[i]
-				accs[oc.cell].Add(&oc.metrics)
-				next++
+			for pi := range b.parts {
+				p := &b.parts[pi]
+				accs[p.cell].Merge(&p.acc)
 				if tm != nil {
 					// The aggregator is a single goroutine; shard 0 is its
 					// dedicated cell.
+					tm.foldMerges.Inc(0)
+				}
+			}
+			for i := range b.outs {
+				oc := &b.outs[i]
+				next++
+				if tm != nil {
 					tm.folded.Inc(0)
 					if !oc.fresh {
 						tm.replayed.Inc(0)

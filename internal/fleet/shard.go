@@ -75,9 +75,12 @@ func (s Shard) String() string {
 // MergeRecords folds per-scenario run records — the union of one or more
 // shard result files — back into the aggregate Result a single-machine run
 // of the suite would produce. The records must cover the suite's scenario
-// index set exactly; folding replays them in strict index order, so every
-// Welford update happens in the same order with the same operands as in an
-// unsharded run and the merged Result serializes byte-identically.
+// index set exactly; folding replays the engine's fixed fold topology — a
+// per-cell Welford partial per run of consecutive records inside each
+// foldSpan-wide batch, partials merged in batch order — so every
+// floating-point operation happens in the same order with the same
+// operands as in an unsharded run and the merged Result serializes
+// byte-identically.
 func MergeRecords(suite Suite, records map[int]RunRecord) (*Result, error) {
 	suite = suite.withDefaults()
 	if err := suite.Validate(); err != nil {
@@ -90,6 +93,8 @@ func MergeRecords(suite Suite, records map[int]RunRecord) (*Result, error) {
 			ErrBadSuite, len(records), total)
 	}
 	accs := make([]emulation.Accumulator, len(cells))
+	var part emulation.Accumulator
+	partCell := -1
 	for i := 0; i < total; i++ {
 		rec, ok := records[i]
 		if !ok {
@@ -99,8 +104,20 @@ func MergeRecords(suite Suite, records map[int]RunRecord) (*Result, error) {
 			return nil, fmt.Errorf("%w: scenario %d records cell %d, want %d",
 				ErrBadSuite, i, rec.Cell, want)
 		}
+		// A whole run schedules index i at position i, so a new partial
+		// starts at every batch boundary and every cell change — exactly the
+		// engine's worker-side pre-fold spans.
+		if i%foldSpan == 0 || rec.Cell != partCell {
+			if partCell >= 0 {
+				accs[partCell].Merge(&part)
+			}
+			part, partCell = emulation.Accumulator{}, rec.Cell
+		}
 		m := rec.Metrics
-		accs[rec.Cell].Add(&m)
+		part.Add(&m)
+	}
+	if partCell >= 0 {
+		accs[partCell].Merge(&part)
 	}
 	return resultFromAccs(suite, cells, accs, total), nil
 }

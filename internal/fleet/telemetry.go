@@ -20,6 +20,12 @@ const (
 	MetricScenariosReplayed = "fleet.scenarios_replayed"
 	// MetricBatchesClaimed counts work batches claimed by workers.
 	MetricBatchesClaimed = "fleet.batches_claimed"
+	// MetricFoldMerges counts per-cell partial merges performed by the
+	// aggregator — one per (batch, cell) run of outcomes. The count is a
+	// pure function of the schedule (fixed foldSpan-wide batches), so it is
+	// identical across worker counts; a drift between runs of the same
+	// suite and shard indicates a scheduling bug.
+	MetricFoldMerges = "fleet.fold_merges"
 	// MetricWorkerBusyNS accumulates nanoseconds workers spent executing
 	// scenarios; busy/(workers×wall) is the pool utilization.
 	MetricWorkerBusyNS = "fleet.worker_busy_ns"
@@ -77,13 +83,14 @@ var stepBuckets = []int64{50, 100, 200, 500, 1000, 2000, 5000, 10000}
 // *fleetMetrics is the disabled state: every record site nil-checks it, so
 // an uninstrumented run touches no telemetry code beyond that check.
 type fleetMetrics struct {
-	started  *telemetry.Counter
-	folded   *telemetry.Counter
-	replayed *telemetry.Counter
-	batches  *telemetry.Counter
-	busyNS   *telemetry.Counter
-	durNS    *telemetry.Histogram
-	steps    *telemetry.Histogram
+	started    *telemetry.Counter
+	folded     *telemetry.Counter
+	replayed   *telemetry.Counter
+	batches    *telemetry.Counter
+	foldMerges *telemetry.Counter
+	busyNS     *telemetry.Counter
+	durNS      *telemetry.Histogram
+	steps      *telemetry.Histogram
 }
 
 // newFleetMetrics registers the engine metrics, returning nil for a nil
@@ -93,12 +100,13 @@ func newFleetMetrics(col *telemetry.Collector) *fleetMetrics {
 		return nil
 	}
 	return &fleetMetrics{
-		started:  col.Counter(MetricScenariosStarted),
-		folded:   col.Counter(MetricScenariosFolded),
-		replayed: col.Counter(MetricScenariosReplayed),
-		batches:  col.Counter(MetricBatchesClaimed),
-		busyNS:   col.Counter(MetricWorkerBusyNS),
-		durNS:    col.Histogram(MetricScenarioDurationNS, telemetry.DurationBuckets()),
-		steps:    col.Histogram(MetricScenarioSteps, stepBuckets),
+		started:    col.Counter(MetricScenariosStarted),
+		folded:     col.Counter(MetricScenariosFolded),
+		replayed:   col.Counter(MetricScenariosReplayed),
+		batches:    col.Counter(MetricBatchesClaimed),
+		foldMerges: col.Counter(MetricFoldMerges),
+		busyNS:     col.Counter(MetricWorkerBusyNS),
+		durNS:      col.Histogram(MetricScenarioDurationNS, telemetry.DurationBuckets()),
+		steps:      col.Histogram(MetricScenarioSteps, stepBuckets),
 	}
 }

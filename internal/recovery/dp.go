@@ -89,8 +89,58 @@ func (s *DPSolution) Strategy(deltaR int) *ThresholdStrategy {
 	return &ThresholdStrategy{Thresholds: th, DeltaR: deltaR}
 }
 
+// Arena is reusable scratch storage for dpSolver: the stencil tables,
+// value-iteration buffers and prediction cache of a solve, kept as raw
+// slabs that re-dimension (grow once, then slice) instead of reallocating
+// per solve. Solutions computed through a shared arena are bit-identical to
+// fresh-solver solutions for any (params, config) sequence — prepare fully
+// re-derives every slab entry it reads (guarded by
+// TestDPArenaReuseBitIdentical). Solver *output* (DPSolution's value
+// arrays, grid and thresholds) is never arena-backed: solutions escape into
+// long-lived caches, so they get their own allocations. An Arena is for one
+// solve at a time; callers that solve in parallel hold one arena per
+// worker (the fleet strategy cache pools them per-P).
+type Arena struct {
+	floats  []float64
+	ints    []int32
+	resetSt []stencilEntry
+}
+
+// NewArena returns an empty arena; the first solve sizes it.
+func NewArena() *Arena { return &Arena{} }
+
+// grabFloats returns a zero-filled float slab of the requested size,
+// reusing the arena's backing array when it is large enough.
+func (a *Arena) grabFloats(n int) []float64 {
+	if cap(a.floats) < n {
+		a.floats = make([]float64, n)
+		return a.floats
+	}
+	s := a.floats[:n]
+	clear(s)
+	return s
+}
+
+// grabInts is grabFloats for the int32 stencil indices.
+func (a *Arena) grabInts(n int) []int32 {
+	if cap(a.ints) < n {
+		a.ints = make([]int32, n)
+		return a.ints
+	}
+	s := a.ints[:n]
+	clear(s)
+	return s
+}
+
 // SolveDP computes the optimal average cost and thresholds of Problem 1.
 func SolveDP(p nodemodel.Params, cfg DPConfig) (*DPSolution, error) {
+	return SolveDPWith(p, cfg, nil)
+}
+
+// SolveDPWith is SolveDP drawing solver scratch from a reusable arena (nil
+// allocates fresh scratch, which is exactly SolveDP). The returned solution
+// is bit-identical either way and never aliases the arena.
+func SolveDPWith(p nodemodel.Params, cfg DPConfig, arena *Arena) (*DPSolution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,12 +148,15 @@ func SolveDP(p nodemodel.Params, cfg DPConfig) (*DPSolution, error) {
 	if cfg.DeltaR < 0 {
 		return nil, fmt.Errorf("%w: deltaR = %d", ErrBadStrategy, cfg.DeltaR)
 	}
+	if arena == nil {
+		arena = NewArena()
+	}
 
 	grid := make([]float64, cfg.GridSize+1)
 	for i := range grid {
 		grid[i] = float64(i) / float64(cfg.GridSize)
 	}
-	solver := &dpSolver{p: p, cfg: cfg, grid: grid}
+	solver := &dpSolver{p: p, cfg: cfg, grid: grid, ar: arena}
 	solver.prepare()
 
 	if cfg.DeltaR != InfiniteDeltaR {
@@ -116,6 +169,7 @@ type dpSolver struct {
 	p    nodemodel.Params
 	cfg  DPConfig
 	grid []float64
+	ar   *Arena // scratch source; prepare re-derives every slab it reads
 
 	// Interpolation stencils: for each grid belief b, waiting leads to the
 	// predictive pb and, per observation o with probability po(o) > 0, to a
@@ -183,13 +237,16 @@ func (d *dpSolver) stencilEntryFor(pb, zh, zc float64) stencilEntry {
 }
 
 // prepare caches the belief-transition stencils. All float storage comes
-// from one arena allocation, keeping a solve at a handful of allocations.
+// from one arena slab carved into the solver's views; the slabs are
+// zero-filled on reuse (grabFloats/grabInts), because the stencil fill
+// below skips zero-probability entries — an arena inherited from a
+// different (params, config) solve must not leak stale weights through
+// that skip path.
 func (d *dpSolver) prepare() {
 	numObs := d.p.NumObs()
-	zhs := d.p.ZHealthy.Probs()
-	zcs := d.p.ZCompromised.Probs()
+	zH, zC := d.p.ZHealthy, d.p.ZCompromised
 	g := len(d.grid)
-	arena := make([]float64, 2*numObs*g+4*g)
+	arena := d.ar.grabFloats(2*numObs*g + 4*g)
 	cut := func(size int) []float64 {
 		s := arena[:size:size]
 		arena = arena[size:]
@@ -201,13 +258,13 @@ func (d *dpSolver) prepare() {
 	d.buf1 = cut(g)
 	d.accBuf = cut(g)
 	preds := cut(g)
-	d.stIdx = make([]int32, numObs*g)
+	d.stIdx = d.ar.grabInts(numObs * g)
 	for i, b := range d.grid {
 		preds[i] = d.p.PredictBelief(b, nodemodel.Wait)
 	}
 	for o := 0; o < numObs; o++ {
 		base := o * g
-		zh, zc := zhs[o], zcs[o]
+		zh, zc := zH.Prob(o), zC.Prob(o)
 		for i, pb := range preds {
 			st := d.stencilEntryFor(pb, zh, zc)
 			if st.po == 0 {
@@ -218,12 +275,14 @@ func (d *dpSolver) prepare() {
 			d.stWhi[base+i] = st.po * st.frac
 		}
 	}
-	d.resetSt = make([]stencilEntry, 0, numObs)
+	d.resetSt = d.ar.resetSt[:0]
 	for o := 0; o < numObs; o++ {
-		if st := d.stencilEntryFor(d.p.PA, zhs[o], zcs[o]); st.po != 0 {
+		if st := d.stencilEntryFor(d.p.PA, zH.Prob(o), zC.Prob(o)); st.po != 0 {
 			d.resetSt = append(d.resetSt, st)
 		}
 	}
+	d.ar.resetSt = d.resetSt
+	d.warm = false
 }
 
 // expectWaitAll computes E_o[ W(b'(b,o)) ] under Wait for every grid
@@ -273,22 +332,43 @@ func (d *dpSolver) expectReset(w []float64) float64 {
 // ends the window; earlier positions choose between waiting (cost eta*b)
 // and recovering (cost 1, belief reset to pA).
 func (d *dpSolver) solveWindow() (*DPSolution, error) {
-	p := d.p
 	deltaR := d.cfg.DeltaR
 	g := len(d.grid)
 	// One backing array for all window stages: the per-stage values are
-	// solver output (DPSolution.Value), but allocating them in one block
-	// keeps the backward induction off the allocator.
+	// solver output (DPSolution.Value), so they are allocated per solve —
+	// never from the arena — but one block keeps the backward induction off
+	// the allocator.
 	backing := make([]float64, deltaR*g)
 	stages := make([][]float64, deltaR)
 	for k := range stages {
 		stages[k] = backing[k*g : (k+1)*g : (k+1)*g]
 	}
+	thresholds := make([]float64, max(deltaR-1, 1))
+	avg := d.inductWindow(stages, thresholds)
+	if deltaR == 1 {
+		thresholds[0] = 0
+	}
+	return &DPSolution{
+		AvgCost:    avg,
+		Thresholds: thresholds,
+		Grid:       d.grid,
+		Value:      stages,
+	}, nil
+}
+
+// inductWindow runs the backward induction into the caller's stage and
+// threshold storage and returns the average window cost. It is the
+// allocation-free core of solveWindow, split out so the arena-reuse guard
+// test can re-solve without the output allocations. stages must hold
+// DeltaR grid-length rows; thresholds holds max(DeltaR-1, 1) entries
+// (position k's threshold at index k-1; untouched for DeltaR = 1).
+func (d *dpSolver) inductWindow(stages [][]float64, thresholds []float64) float64 {
+	p := d.p
+	deltaR := d.cfg.DeltaR
 	forced := stages[deltaR-1]
 	for i := range forced {
 		forced[i] = 1 // forced recovery cost; window ends here
 	}
-	thresholds := make([]float64, deltaR-1)
 
 	for k := deltaR - 1; k >= 1; k-- {
 		next := stages[k] // V(., k+1)
@@ -312,19 +392,10 @@ func (d *dpSolver) solveWindow() (*DPSolution, error) {
 		thresholds[k-1] = threshold
 	}
 
-	var avg float64
 	if deltaR == 1 {
-		avg = 1 // every step is a forced recovery
-		thresholds = []float64{0}
-	} else {
-		avg = d.expectReset(stages[0]) / float64(deltaR)
+		return 1 // every step is a forced recovery
 	}
-	return &DPSolution{
-		AvgCost:    avg,
-		Thresholds: thresholds,
-		Grid:       d.grid,
-		Value:      stages,
-	}, nil
+	return d.expectReset(stages[0]) / float64(deltaR)
 }
 
 // solveStationary solves the unconstrained problem by bisection on rho over
@@ -372,7 +443,7 @@ func (d *dpSolver) solveStationary() (*DPSolution, error) {
 		AvgCost:    rho,
 		Thresholds: []float64{threshold},
 		Grid:       d.grid,
-		Value:      [][]float64{w},
+		Value:      [][]float64{append([]float64(nil), w...)},
 	}, nil
 }
 
@@ -382,8 +453,11 @@ func (d *dpSolver) solveStationary() (*DPSolution, error) {
 // rho's fixed point when one is available (the fixed point for each rho is
 // unique and the iteration is a contraction, so the start point changes
 // only the sweep count, not the limit — within the 1e-10 stopping
-// tolerance). The returned slice is a copy, so later calls cannot clobber
-// it.
+// tolerance). The returned slice aliases the solver's converged buffer: it
+// is valid until the next stoppingValue call, and callers that keep it
+// (solveStationary's final solution) copy it themselves. During bisection
+// the value is only read through expectReset before the next call, so the
+// aliasing saves one grid-sized allocation per bisection step.
 func (d *dpSolver) stoppingValue(rho float64) ([]float64, error) {
 	p := d.p
 	recoverVal := 1 - rho
@@ -408,7 +482,7 @@ func (d *dpSolver) stoppingValue(rho float64) ([]float64, error) {
 		if diff < 1e-10 {
 			// Leave the converged values in buf0 for the next rho.
 			d.buf0, d.buf1, d.warm = w, next, true
-			return append([]float64(nil), w...), nil
+			return w, nil
 		}
 	}
 	return nil, fmt.Errorf("%w: rho = %v", ErrDPNotConverged, rho)

@@ -400,7 +400,7 @@ func TestSolveStationaryFixedPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solver := &dpSolver{p: p, cfg: cfg.withDefaults(), grid: sol.Grid}
+	solver := &dpSolver{p: p, cfg: cfg.withDefaults(), grid: sol.Grid, ar: NewArena()}
 	solver.prepare()
 	w := sol.Value[0]
 	solver.expectWaitAll(w, solver.accBuf)
