@@ -72,6 +72,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 
 	"tolerance/internal/fleet"
@@ -145,8 +146,12 @@ func run() (retErr error) {
 	switch {
 	case *list:
 		for _, s := range fleet.Builtin() {
-			fmt.Printf("%-13s %4d scenarios, %3d cells  %s\n",
-				s.Name, s.NumScenarios(), s.NumCells(), s.Description)
+			backend := ""
+			if len(s.Backends) > 0 {
+				backend = fmt.Sprintf("  [backend: %s]", strings.Join(s.Backends, ","))
+			}
+			fmt.Printf("%-13s %4d scenarios, %3d cells  %s%s\n",
+				s.Name, s.NumScenarios(), s.NumCells(), s.Description, backend)
 		}
 		return nil
 	case *listStrategies:

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"tolerance/internal/cmdp"
 	"tolerance/internal/ids"
@@ -168,12 +169,21 @@ func NewSystemController(policy *cmdp.Solution, smax int, seed int64) (*SystemCo
 
 // Decide consumes the per-node belief reports (nil entry value = node
 // failed to report and is considered crashed, §V-B) and returns the global
-// action.
+// action. Reports are processed in sorted ID order, so the eviction list —
+// and the floating-point belief sum behind the healthy estimate — never
+// depend on map iteration order: the decision is a pure function of the
+// reports and the controller's rng state.
 func (sc *SystemController) Decide(reports map[string]*float64) SystemAction {
+	keys := make([]string, 0, len(reports))
+	for id := range reports {
+		keys = append(keys, id)
+	}
+	sort.Strings(keys)
 	var action SystemAction
 	healthy := 0.0
 	alive := 0
-	for id, b := range reports {
+	for _, id := range keys {
+		b := reports[id]
 		if b == nil {
 			action.Evict = append(action.Evict, id)
 			continue

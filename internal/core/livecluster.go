@@ -30,7 +30,12 @@ type LiveCluster struct {
 	registry *replica.Registry
 	admin    *minbft.Client
 
-	nodes      map[string]*liveNode
+	nodes map[string]*liveNode
+	// order lists node IDs in creation order. Every per-node loop that
+	// draws from the rng (or submits through consensus) walks it instead
+	// of the map, so the seeded event schedule is identical across runs —
+	// Go map iteration order would fork it.
+	order      []string
 	sysCtrl    *SystemController
 	nextNodeID int
 	step       int
@@ -41,16 +46,23 @@ type LiveCluster struct {
 
 // LiveStats counts cluster events.
 type LiveStats struct {
-	Intrusions  int
-	Recoveries  int
-	Evictions   int
-	Additions   int
+	Intrusions int
+	Recoveries int
+	Evictions  int
+	Additions  int
+	// Restarts counts in-place replica process restarts (RestartNode).
+	Restarts int
+	// ViewChanges is the highest view number observed on a live replica —
+	// view 0 is the boot view, so any value above 0 means the group
+	// elected a new primary at least once.
 	ViewChanges uint64
 }
 
 type liveNode struct {
 	id         string
 	replica    *minbft.Replica
+	endpoint   transport.Endpoint
+	usig       *usig.USIG
 	controller *NodeController
 	profile    ids.Profile
 	compromise *attacker.Intrusion
@@ -188,16 +200,21 @@ func (lc *LiveCluster) startNode(id string, members []string, catalog []ids.Prof
 		return err
 	}
 	rep, err := minbft.NewReplica(minbft.Config{
-		ID:             id,
-		Members:        members,
-		K:              lc.cfg.K,
-		Endpoint:       ep,
-		USIG:           u,
-		Verifier:       lc.verifier,
-		Registry:       lc.registry,
-		Store:          replica.NewKVStore(),
-		RequestTimeout: 300 * time.Millisecond,
-		TickInterval:   5 * time.Millisecond,
+		ID:       id,
+		Members:  members,
+		K:        lc.cfg.K,
+		Endpoint: ep,
+		USIG:     u,
+		Verifier: lc.verifier,
+		Registry: lc.registry,
+		Store:    replica.NewKVStore(),
+		// A short checkpoint interval keeps restarted and joined replicas
+		// self-healing: a stable checkpoint ahead of a replica's execution
+		// triggers a state re-sync, which closes the gap left when commits
+		// land during its initial state transfer.
+		CheckpointInterval: 10,
+		RequestTimeout:     300 * time.Millisecond,
+		TickInterval:       5 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -222,10 +239,24 @@ func (lc *LiveCluster) startNode(id string, members []string, catalog []ids.Prof
 	lc.nodes[id] = &liveNode{
 		id:         id,
 		replica:    rep,
+		endpoint:   ep,
+		usig:       u,
 		controller: ctrl,
 		profile:    profile,
 	}
+	lc.order = append(lc.order, id)
 	return nil
+}
+
+// orderedNodes walks the nodes in creation order (see the order field).
+func (lc *LiveCluster) orderedNodes() []*liveNode {
+	out := make([]*liveNode, 0, len(lc.order))
+	for _, id := range lc.order {
+		if n, ok := lc.nodes[id]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Client creates a service client attached to the cluster.
@@ -253,7 +284,7 @@ func (lc *LiveCluster) Client(name string) (*minbft.Client, error) {
 // membership returns the current member list and tolerance threshold from
 // any live replica.
 func (lc *LiveCluster) membership() ([]string, int) {
-	for _, n := range lc.nodes {
+	for _, n := range lc.orderedNodes() {
 		if !n.crashed {
 			return n.replica.Members(), n.replica.Tolerance()
 		}
@@ -267,7 +298,7 @@ func (lc *LiveCluster) membership() ([]string, int) {
 func (lc *LiveCluster) Step() ([]string, error) {
 	lc.step++
 	// Attacker: start/advance campaigns (§VIII-A).
-	for _, n := range lc.nodes {
+	for _, n := range lc.orderedNodes() {
 		if n.crashed {
 			continue
 		}
@@ -298,7 +329,7 @@ func (lc *LiveCluster) Step() ([]string, error) {
 	// IDS + node controllers; cap parallel recoveries at k.
 	recovered := make([]string, 0, lc.cfg.K)
 	reports := make(map[string]*float64, len(lc.nodes))
-	for _, n := range lc.nodes {
+	for _, n := range lc.orderedNodes() {
 		if n.crashed {
 			reports[n.id] = nil
 			continue
@@ -330,7 +361,68 @@ func (lc *LiveCluster) Step() ([]string, error) {
 			return recovered, err
 		}
 	}
+	if v := lc.MaxView(); v > lc.Stats.ViewChanges {
+		lc.Stats.ViewChanges = v
+	}
 	return recovered, nil
+}
+
+// MaxView returns the highest view number among live replicas (0 at boot;
+// any higher value means the group changed primaries).
+func (lc *LiveCluster) MaxView() uint64 {
+	var v uint64
+	for _, n := range lc.orderedNodes() {
+		if !n.crashed && n.replica.View() > v {
+			v = n.replica.View()
+		}
+	}
+	return v
+}
+
+// RestartNode restarts a node's replica process in place — the real
+// machinery behind a §VII-C recovery: the old process stops (possibly
+// mid-consensus), the USIG resumes from its persisted counter (peers' FIFO
+// anti-equivocation gate would drop a reset counter as replay), and the
+// restarted replica rejoins on the same identity with a fresh store,
+// catching up through state sync.
+func (lc *LiveCluster) RestartNode(id string) error {
+	n, ok := lc.nodes[id]
+	if !ok {
+		return fmt.Errorf("core: unknown node %s", id)
+	}
+	if n.crashed {
+		return fmt.Errorf("core: node %s has crashed; evict it instead of restarting", id)
+	}
+	members, _ := lc.membership()
+	n.replica.Stop()
+	u, err := usig.ResumeHMAC(id, liveKey, n.usig.Counter())
+	if err != nil {
+		return err
+	}
+	rep, err := minbft.NewReplica(minbft.Config{
+		ID:                 id,
+		Members:            members,
+		K:                  lc.cfg.K,
+		Endpoint:           n.endpoint,
+		USIG:               u,
+		Verifier:           lc.verifier,
+		Registry:           lc.registry,
+		Store:              replica.NewKVStore(),
+		CheckpointInterval: 10,
+		RequestTimeout:     300 * time.Millisecond,
+		TickInterval:       5 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	n.replica = rep
+	n.usig = u
+	n.compromise = nil
+	n.boost = 0
+	lc.Stats.Restarts++
+	rep.RequestStateSync(1)
+	n.controller.NotifyRecovered()
+	return nil
 }
 
 // recoverNode replaces the application domain: byzantine behaviour stops,
@@ -368,6 +460,12 @@ func (lc *LiveCluster) evictNode(id string) error {
 	}
 	lc.Stats.Evictions++
 	delete(lc.nodes, id)
+	for i, oid := range lc.order {
+		if oid == id {
+			lc.order = append(lc.order[:i], lc.order[i+1:]...)
+			break
+		}
+	}
 	lc.refreshAdminMembership()
 	return nil
 }
@@ -410,23 +508,24 @@ func (lc *LiveCluster) refreshAdminMembership() {
 	}
 }
 
-// aliveIDs lists non-crashed nodes.
+// aliveIDs lists non-crashed nodes in creation order.
 func (lc *LiveCluster) aliveIDs() []string {
 	out := make([]string, 0, len(lc.nodes))
-	for id, n := range lc.nodes {
+	for _, n := range lc.orderedNodes() {
 		if !n.crashed {
-			out = append(out, id)
+			out = append(out, n.id)
 		}
 	}
 	return out
 }
 
-// CompromisedNodes lists nodes currently under attacker control.
+// CompromisedNodes lists nodes currently under attacker control, in
+// creation order.
 func (lc *LiveCluster) CompromisedNodes() []string {
 	var out []string
-	for id, n := range lc.nodes {
+	for _, n := range lc.orderedNodes() {
 		if n.compromise != nil && n.compromise.Done() {
-			out = append(out, id)
+			out = append(out, n.id)
 		}
 	}
 	return out

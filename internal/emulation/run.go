@@ -135,6 +135,12 @@ type Metrics struct {
 	Recoveries int
 	// Evictions and Additions count replication-factor changes.
 	Evictions, Additions int
+	// ServiceLatencyMS is the mean client-request latency in milliseconds,
+	// measured only by backends that serve a real workload (the live-cluster
+	// backend). The analytic emulation leaves it zero; omitempty keeps
+	// emulation records and checkpoints byte-identical to releases that
+	// predate the field.
+	ServiceLatencyMS float64 `json:"ServiceLatencyMS,omitempty"`
 }
 
 // simNode is one virtual node of the testbed: the environment-side state
@@ -840,6 +846,11 @@ type Aggregate struct {
 	RecoveryFrequency  Summary
 	AvgNodes           Summary
 	Cost               Summary
+	// Latency summarizes measured service latency (ms) for backends that
+	// report it; nil — and therefore absent from the serialization — when no
+	// folded run carried a latency, which keeps emulation-backend results
+	// byte-identical to releases that predate the field.
+	Latency *Summary `json:"Latency,omitempty"`
 }
 
 // Accumulator streams per-run Metrics into an Aggregate (one Welford
@@ -851,6 +862,9 @@ type Accumulator struct {
 	RecoveryFrequency  Welford
 	AvgNodes           Welford
 	Cost               Welford
+	// Latency folds only runs that measured a service latency (cluster
+	// backend); its count is therefore allowed to trail the other lanes.
+	Latency Welford
 }
 
 // Add folds one run's metrics.
@@ -861,6 +875,9 @@ func (a *Accumulator) Add(m *Metrics) {
 	a.RecoveryFrequency.Add(m.RecoveryFrequency)
 	a.AvgNodes.Add(m.AvgNodes)
 	a.Cost.Add(m.AvgCost)
+	if m.ServiceLatencyMS > 0 {
+		a.Latency.Add(m.ServiceLatencyMS)
+	}
 }
 
 // Merge folds another accumulator's summaries into a, as if the other's
@@ -875,6 +892,7 @@ func (a *Accumulator) Merge(other *Accumulator) {
 	a.RecoveryFrequency.Merge(other.RecoveryFrequency)
 	a.AvgNodes.Merge(other.AvgNodes)
 	a.Cost.Merge(other.Cost)
+	a.Latency.Merge(other.Latency)
 }
 
 // Runs returns the number of folded runs.
@@ -889,7 +907,7 @@ func (a *Accumulator) Aggregate() *Aggregate {
 // AggregateValue summarizes the folded runs without allocating — the form
 // fleet result assembly uses once per grid cell.
 func (a *Accumulator) AggregateValue() Aggregate {
-	return Aggregate{
+	out := Aggregate{
 		Availability:       a.Availability.Summary(),
 		QuorumAvailability: a.QuorumAvailability.Summary(),
 		TimeToRecovery:     a.TimeToRecovery.Summary(),
@@ -897,6 +915,11 @@ func (a *Accumulator) AggregateValue() Aggregate {
 		AvgNodes:           a.AvgNodes.Summary(),
 		Cost:               a.Cost.Summary(),
 	}
+	if a.Latency.Count > 0 {
+		s := a.Latency.Summary()
+		out.Latency = &s
+	}
+	return out
 }
 
 // RunSeeds evaluates a scenario across seeds (the paper uses 20) and

@@ -341,8 +341,24 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 							sc.Seed = scenarioSeed(suite.Seed, idx)
 							sc.FitSeed = fitSeed
 							sc.Fits = fits
-							if tm == nil {
-								oc.metrics, oc.err = runner.RunInto(sc)
+							// Cells on a non-default backend dispatch through
+							// the registry; the default (emulation) path stays
+							// on the worker-resident zero-allocation runner.
+							var run func() (emulation.Metrics, error)
+							if cell.Backend == "" {
+								run = func() (emulation.Metrics, error) { return runner.RunInto(sc) }
+							} else if be, ok := LookupBackend(cell.Backend); ok {
+								run = func() (emulation.Metrics, error) {
+									return be.Run(ctx, sc, BackendOptions{Telemetry: cfg.Telemetry, Shard: wid})
+								}
+							} else {
+								// Unreachable after Validate — defensive.
+								oc.err = fmt.Errorf("%w: unknown backend %q", ErrBadSuite, cell.Backend)
+							}
+							if oc.err != nil {
+								// fall through to the shared error handling
+							} else if tm == nil {
+								oc.metrics, oc.err = run()
 							} else {
 								// Timing wraps the run from outside: the
 								// scenario's rng streams are seeded purely
@@ -350,7 +366,7 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 								// clock reads cannot perturb results.
 								tm.started.Inc(wid)
 								t0 := time.Now()
-								oc.metrics, oc.err = runner.RunInto(sc)
+								oc.metrics, oc.err = run()
 								d := int64(time.Since(t0))
 								tm.busyNS.Add(wid, d)
 								tm.durNS.Observe(wid, d)

@@ -159,6 +159,14 @@ type Suite struct {
 	// Any registered strategy name is valid, including the learned kinds.
 	Policies []PolicyKind `json:"policies,omitempty"`
 
+	// Backends grids the scenario execution substrate (registered
+	// ScenarioBackend names). Empty selects the default "emulation"
+	// backend, exactly as every suite before the axis existed — the field
+	// is deliberately NOT filled by withDefaults, so legacy suites and
+	// their dumps, fingerprints and scenario indices are untouched. Suites
+	// that name any backend require suite-file version 2.
+	Backends []string `json:"backends,omitempty"`
+
 	// Learned tunes the training budget for learned:* policy kinds; nil
 	// keeps the strategy defaults.
 	Learned *LearnedConfig `json:"learned,omitempty"`
@@ -252,6 +260,17 @@ func (s Suite) Validate() error {
 				ErrBadSuite, p, strategies.Names())
 		}
 	}
+	seenBackends := make(map[string]bool, len(s.Backends))
+	for _, b := range s.Backends {
+		if _, ok := LookupBackend(b); !ok {
+			return fmt.Errorf("%w: unknown backend %q (known: %v)",
+				ErrBadSuite, b, BackendNames())
+		}
+		if seenBackends[b] {
+			return fmt.Errorf("%w: duplicate backend %q", ErrBadSuite, b)
+		}
+		seenBackends[b] = true
+	}
 	if lc := s.Learned; lc != nil {
 		if lc.Budget < 0 || lc.Episodes < 0 || lc.Horizon < 0 || lc.Iterations < 0 || lc.Workers < 0 {
 			return fmt.Errorf("%w: negative learned config %+v", ErrBadSuite, *lc)
@@ -285,38 +304,58 @@ type Cell struct {
 	DeltaR int `json:"deltaR"`
 	// F is the tolerance threshold (the paper's rule min((N1-1)/2, 2)).
 	F int `json:"f"`
+	// Backend names the scenario backend executing this cell. The
+	// canonical value for the default emulation backend is the empty
+	// string ("emulation" in a suite normalizes to it during expansion),
+	// so legacy cells — and their JSON — are byte-identical to the
+	// pre-backend schema.
+	Backend string `json:"backend,omitempty"`
 }
 
-// Cells expands the suite grid in a fixed documented order: attack rate,
-// then crash profile, update rate, eta, workload, N1, DeltaR, and policy
-// innermost. The order is part of the reproducibility contract — scenario
-// indices (and therefore seeds) follow it.
+// Cells expands the suite grid in a fixed documented order: backend
+// outermost (suites without the axis expand exactly as before it existed),
+// then attack rate, crash profile, update rate, eta, workload, N1, DeltaR,
+// and policy innermost. The order is part of the reproducibility contract —
+// scenario indices (and therefore seeds) follow it.
 func (s Suite) Cells() []Cell {
 	s = s.withDefaults()
+	backends := s.Backends
+	if len(backends) == 0 {
+		backends = []string{BackendEmulation}
+	}
 	var cells []Cell
-	for _, pa := range s.AttackRates {
-		for _, cp := range s.CrashProfiles {
-			for _, pu := range s.UpdateRates {
-				for _, eta := range s.Etas {
-					for _, wl := range s.Workloads {
-						for _, n1 := range s.N1s {
-							for _, dr := range s.DeltaRs {
-								for _, pol := range s.Policies {
-									cells = append(cells, Cell{
-										Index:    len(cells),
-										Policy:   pol,
-										PA:       pa,
-										PC1:      cp.PC1,
-										PC2:      cp.PC2,
-										PU:       pu,
-										Eta:      eta,
-										Workload: wl,
-										N1:       n1,
-										SMax:     s.SMax,
-										K:        s.K,
-										DeltaR:   dr,
-										F:        emulation.DefaultThreshold(n1),
-									})
+	for _, be := range backends {
+		backend := be
+		if backend == BackendEmulation {
+			// Canonical spelling of the default backend is "", keeping
+			// legacy cells and their serialization unchanged.
+			backend = ""
+		}
+		for _, pa := range s.AttackRates {
+			for _, cp := range s.CrashProfiles {
+				for _, pu := range s.UpdateRates {
+					for _, eta := range s.Etas {
+						for _, wl := range s.Workloads {
+							for _, n1 := range s.N1s {
+								for _, dr := range s.DeltaRs {
+									for _, pol := range s.Policies {
+										cells = append(cells, Cell{
+											Index:    len(cells),
+											Policy:   pol,
+											PA:       pa,
+											PC1:      cp.PC1,
+											PC2:      cp.PC2,
+											PU:       pu,
+											Eta:      eta,
+											Workload: wl,
+											N1:       n1,
+											SMax:     s.SMax,
+											K:        s.K,
+											DeltaR:   dr,
+											F:        emulation.DefaultThreshold(n1),
+											Backend:  backend,
+										})
+									}
 								}
 							}
 						}
@@ -331,8 +370,9 @@ func (s Suite) Cells() []Cell {
 // NumCells returns the grid size.
 func (s Suite) NumCells() int {
 	s = s.withDefaults()
-	return len(s.AttackRates) * len(s.CrashProfiles) * len(s.UpdateRates) *
-		len(s.Etas) * len(s.Workloads) * len(s.N1s) * len(s.DeltaRs) * len(s.Policies)
+	return max(1, len(s.Backends)) * len(s.AttackRates) * len(s.CrashProfiles) *
+		len(s.UpdateRates) * len(s.Etas) * len(s.Workloads) * len(s.N1s) *
+		len(s.DeltaRs) * len(s.Policies)
 }
 
 // NumScenarios returns the total number of emulation runs the suite expands
@@ -398,6 +438,9 @@ func (c Cell) scenario(policy baselines.Policy, seed int64, steps, fitSamples in
 //   - smoke: a four-scenario suite for CI and quick checks.
 //   - learned-smoke: Algorithm 1 (CEM) vs the exact DP strategy on a tiny
 //     grid — the learned policy kinds exercised end to end.
+//   - cluster-smoke: a two-scenario suite on the "cluster" backend — every
+//     scenario drives a live MinBFT replica group over loopback TCP with
+//     real process restarts (statistically reproducible, not byte-stable).
 func Builtin() []Suite {
 	return []Suite{
 		{
@@ -462,6 +505,24 @@ func Builtin() []Suite {
 			DeltaRs:      []int{15},
 			Policies:     []PolicyKind{PolicyTolerance, PolicyKind("learned:cem")},
 			Learned:      &LearnedConfig{Budget: 40, Episodes: 8, Horizon: 80},
+		},
+		{
+			Name:         "cluster-smoke",
+			Description:  "live MinBFT replica group over loopback TCP (backend: cluster)",
+			Seed:         1,
+			SeedsPerCell: 1,
+			Steps:        40,
+			FitSamples:   500,
+			SMax:         6,
+			// Hot enough that the 40-step budget reliably sees intrusions
+			// and crashes on a 4-replica group, but cool enough that the
+			// group holds quorum for most of the run.
+			AttackRates:   []float64{0.12},
+			CrashProfiles: []CrashProfile{{PC1: 2e-2, PC2: 4e-2}},
+			N1s:           []int{4},
+			DeltaRs:       []int{8},
+			Policies:      []PolicyKind{PolicyTolerance, PolicyPeriodic},
+			Backends:      []string{BackendCluster},
 		},
 	}
 }

@@ -9,10 +9,16 @@ import (
 	"os"
 )
 
-// SuiteFileVersion is the current JSON suite-definition schema version.
-// Readers reject files with a different version so that schema changes
-// surface as clear errors instead of silently misread grids.
-const SuiteFileVersion = 1
+// SuiteFileVersion is the newest JSON suite-definition schema version this
+// build writes and reads. Version 2 added the "backends" axis; version 1
+// files (implicitly emulation-backend) parse unchanged. Readers reject any
+// other version — and version-1 files that smuggle in version-2 fields —
+// so schema changes surface as clear errors instead of silently misread
+// grids.
+const SuiteFileVersion = 2
+
+// suiteFileMinVersion is the oldest schema version still accepted.
+const suiteFileMinVersion = 1
 
 // suiteFile is the on-disk envelope: a version stamp around the Suite
 // schema. The Suite fields are promoted, so a file reads naturally:
@@ -29,9 +35,20 @@ type suiteFile struct {
 	Suite
 }
 
+// minVersionFor returns the oldest schema version able to express the
+// suite: 2 once the backends axis is used, 1 otherwise. DumpSuite stamps
+// it so pre-backend suites keep emitting byte-identical version-1 files.
+func minVersionFor(s Suite) int {
+	if len(s.Backends) > 0 {
+		return 2
+	}
+	return 1
+}
+
 // ParseSuite decodes a versioned JSON suite definition. Decoding is strict
 // (unknown fields are errors, catching typos like "atackRates"), the
-// version must match SuiteFileVersion, and the suite must validate.
+// version must be a supported schema version that covers every field the
+// file uses, and the suite must validate.
 func ParseSuite(data []byte) (Suite, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -39,9 +56,13 @@ func ParseSuite(data []byte) (Suite, error) {
 	if err := dec.Decode(&sf); err != nil {
 		return Suite{}, fmt.Errorf("%w: parse suite: %v", ErrBadSuite, err)
 	}
-	if sf.Version != SuiteFileVersion {
-		return Suite{}, fmt.Errorf("%w: suite file version %d, want %d",
-			ErrBadSuite, sf.Version, SuiteFileVersion)
+	if sf.Version < suiteFileMinVersion || sf.Version > SuiteFileVersion {
+		return Suite{}, fmt.Errorf("%w: suite file version %d, want %d..%d",
+			ErrBadSuite, sf.Version, suiteFileMinVersion, SuiteFileVersion)
+	}
+	if min := minVersionFor(sf.Suite); sf.Version < min {
+		return Suite{}, fmt.Errorf("%w: suite file version %d cannot carry \"backends\" (requires version %d)",
+			ErrBadSuite, sf.Version, min)
 	}
 	if sf.Name == "" {
 		return Suite{}, fmt.Errorf("%w: suite file has no name", ErrBadSuite)
@@ -67,13 +88,16 @@ func LoadSuiteFile(path string) (Suite, error) {
 
 // DumpSuite serializes the suite as an indented versioned JSON document
 // with every default made explicit, so a dumped built-in grid is a
-// complete, editable starting point for user-authored suites.
+// complete, editable starting point for user-authored suites. The stamped
+// version is the oldest schema able to express the suite (minVersionFor),
+// so dumps of pre-backend suites stay byte-identical across the version-2
+// schema bump.
 func DumpSuite(s Suite) ([]byte, error) {
 	s = s.withDefaults()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	data, err := json.MarshalIndent(suiteFile{Version: SuiteFileVersion, Suite: s}, "", "  ")
+	data, err := json.MarshalIndent(suiteFile{Version: minVersionFor(s), Suite: s}, "", "  ")
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +123,13 @@ func (s Suite) Fingerprint() string {
 		} else {
 			s.Learned = &canon
 		}
+	}
+	// A backends axis that only spells out the default is the same grid as
+	// no axis at all (Cells normalizes "emulation" to the canonical empty
+	// Backend), so it canonicalizes away: records from before the axis
+	// existed keep resuming and merging with explicitly-emulation suites.
+	if len(s.Backends) == 1 && s.Backends[0] == BackendEmulation {
+		s.Backends = nil
 	}
 	data, err := json.Marshal(s)
 	if err != nil {

@@ -74,6 +74,8 @@ func TestParseSuiteRejections(t *testing.T) {
 		"unknown field":   `{"version": 1, "name": "x", "atackRates": [0.1]}`,
 		"invalid axis":    `{"version": 1, "name": "x", "attackRates": [1.5]}`,
 		"bad policy":      `{"version": 1, "name": "x", "policies": ["NOPE"]}`,
+		"v1 w/ backends":  `{"version": 1, "name": "x", "backends": ["cluster"]}`,
+		"bad backend":     `{"version": 2, "name": "x", "backends": ["NOPE"]}`,
 	}
 	for label, src := range cases {
 		if _, err := ParseSuite([]byte(src)); err == nil {
@@ -87,6 +89,41 @@ func TestParseSuiteRejections(t *testing.T) {
 	}
 	if got, want := s.withDefaults().NumScenarios(), (Suite{}).withDefaults().NumScenarios(); got != want {
 		t.Errorf("minimal suite expands to %d scenarios, want default %d", got, want)
+	}
+}
+
+// TestSuiteFileVersioning pins the two-version scheme: version-1 files
+// (implicitly emulation) parse under both stamps, the backends axis
+// requires version 2, and DumpSuite stamps the oldest version able to
+// express the suite so pre-backend dumps are byte-identical across the
+// schema bump.
+func TestSuiteFileVersioning(t *testing.T) {
+	// A version-2 stamp on a backend-free suite is accepted: version 2 is
+	// a superset of version 1.
+	if _, err := ParseSuite([]byte(`{"version": 2, "name": "x"}`)); err != nil {
+		t.Errorf("backend-free version-2 file rejected: %v", err)
+	}
+	s, err := ParseSuite([]byte(`{"version": 2, "name": "x", "backends": ["cluster"]}`))
+	if err != nil {
+		t.Fatalf("version-2 backends file rejected: %v", err)
+	}
+	if len(s.Backends) != 1 || s.Backends[0] != BackendCluster {
+		t.Errorf("parsed backends = %v", s.Backends)
+	}
+
+	v1, err := DumpSuite(Suite{Name: "legacy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(v1), `"version": 1`) {
+		t.Errorf("backend-free dump not stamped version 1:\n%s", v1)
+	}
+	v2, err := DumpSuite(Suite{Name: "live", Backends: []string{BackendCluster}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(v2), `"version": 2`) || !strings.Contains(string(v2), `"backends"`) {
+		t.Errorf("backends dump not stamped version 2:\n%s", v2)
 	}
 }
 
@@ -109,6 +146,15 @@ func TestSuiteFingerprint(t *testing.T) {
 		func(s *Suite) { s.SeedsPerCell++ },
 		func(s *Suite) { s.AttackRates = append(s.AttackRates, 0.2) },
 		func(s *Suite) { s.Policies = []PolicyKind{PolicyPeriodic} },
+		func(s *Suite) { s.Backends = []string{BackendCluster} },
+	}
+	// An axis that only spells out the default backend is the same grid:
+	// its fingerprint canonicalizes to the axis-free one, so pre-backend
+	// checkpoints keep resuming against explicitly-emulation suites.
+	explicit := a
+	explicit.Backends = []string{BackendEmulation}
+	if explicit.Fingerprint() != a.Fingerprint() {
+		t.Error("explicit emulation backend changed the fingerprint")
 	}
 	for i, mutate := range mutations {
 		m := a

@@ -2,14 +2,27 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // maxFrame bounds a single TCP frame (16 MiB) to contain misbehaving peers.
 const maxFrame = 16 << 20
+
+// Default deadlines for TCP endpoints. A hung peer (a replica wedged
+// mid-restart, a SYN-blackholing firewall, a receiver that stopped reading
+// so the socket buffers filled) must never stall a sender forever: Send is
+// called from fleet workers and consensus event loops that own other work.
+const (
+	// DefaultDialTimeout bounds the lazy connect inside Send.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultWriteTimeout bounds one frame write (header + payload).
+	DefaultWriteTimeout = 10 * time.Second
+)
 
 // TCPEndpoint is an Endpoint backed by real TCP connections with
 // length-prefixed frames. Addresses are host:port strings; each endpoint
@@ -23,6 +36,15 @@ type TCPEndpoint struct {
 	addr     string
 	listener net.Listener
 	ch       chan Message
+
+	// DialTimeout bounds the lazy connect inside Send; WriteTimeout bounds
+	// each frame write. Both default in ListenTCPAdvertise and may be
+	// lowered before the endpoint is shared (they are read without locking
+	// afterwards). Exceeding either fails the Send with a diagnostic that
+	// wraps ErrTimeout and drops the cached connection, so the next Send
+	// redials instead of queueing behind a wedged peer.
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
 
 	mu      sync.Mutex
 	conns   map[string]*lockedConn
@@ -64,10 +86,12 @@ func ListenTCPAdvertise(bind, advertise string) (*TCPEndpoint, error) {
 		addr = l.Addr().String()
 	}
 	e := &TCPEndpoint{
-		addr:     addr,
-		listener: l,
-		ch:       make(chan Message, 4096),
-		conns:    make(map[string]*lockedConn),
+		addr:         addr,
+		listener:     l,
+		ch:           make(chan Message, 4096),
+		conns:        make(map[string]*lockedConn),
+		DialTimeout:  DefaultDialTimeout,
+		WriteTimeout: DefaultWriteTimeout,
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -90,8 +114,12 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 	lc, ok := e.conns[to]
 	e.mu.Unlock()
 	if !ok {
-		conn, err := net.Dial("tcp", to)
+		dialer := net.Dialer{Timeout: e.DialTimeout}
+		conn, err := dialer.Dial("tcp", to)
 		if err != nil {
+			if isTimeout(err) {
+				return fmt.Errorf("transport: dial %s after %v: %w", to, e.DialTimeout, ErrTimeout)
+			}
 			return fmt.Errorf("transport: dial %s: %w", to, err)
 		}
 		e.mu.Lock()
@@ -111,7 +139,17 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 		}
 	}
 	lc.mu.Lock()
+	// The write deadline covers one whole frame: a receiver that accepted
+	// the connection but stopped draining it (a stuck replica) fills the
+	// socket buffers, the blocked write trips the deadline, and the failed
+	// connection is dropped below so the next Send redials.
+	if e.WriteTimeout > 0 {
+		_ = lc.conn.SetWriteDeadline(time.Now().Add(e.WriteTimeout))
+	}
 	err := writeFrame(lc.conn, e.addr, payload)
+	if e.WriteTimeout > 0 {
+		_ = lc.conn.SetWriteDeadline(time.Time{})
+	}
 	lc.mu.Unlock()
 	if err != nil {
 		e.mu.Lock()
@@ -120,9 +158,19 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 		}
 		e.mu.Unlock()
 		_ = lc.conn.Close()
+		if isTimeout(err) {
+			return fmt.Errorf("transport: send to %s stalled for %v (%d bytes pending): %w",
+				to, e.WriteTimeout, len(payload), ErrTimeout)
+		}
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	return nil
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // Close implements Endpoint.

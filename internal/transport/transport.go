@@ -22,6 +22,10 @@ import (
 var (
 	ErrClosed         = errors.New("transport: endpoint closed")
 	ErrUnknownAddress = errors.New("transport: unknown address")
+	// ErrTimeout marks a dial or write that exceeded its deadline. Callers
+	// match it with errors.Is; the wrapped message names the peer and the
+	// deadline so a stalled-replica diagnosis does not need packet captures.
+	ErrTimeout = errors.New("transport: i/o timeout")
 )
 
 // Message is a payload delivered between endpoints.

@@ -66,6 +66,23 @@ func NewHMAC(id string, key []byte) (*USIG, error) {
 	return &USIG{id: id, hmacKey: k}, nil
 }
 
+// ResumeHMAC creates an HMAC USIG whose counter continues from a previous
+// incarnation. In the hybrid failure model the USIG lives in the node's
+// trusted domain, which survives application-domain resets: when the
+// recovery controller restarts a replica process (√ in Fig 2), the new
+// process must keep certifying from the old counter, because peers enforce
+// FIFO processing per sender — a replica that came back with a fresh
+// counter would have every message dropped as a replay. counter is the last
+// value the previous incarnation assigned (USIG.Counter()).
+func ResumeHMAC(id string, key []byte, counter uint64) (*USIG, error) {
+	u, err := NewHMAC(id, key)
+	if err != nil {
+		return nil, err
+	}
+	u.counter = counter
+	return u, nil
+}
+
 // NewRSA creates a USIG certifying with RSA signatures (Table 8: 1024-bit
 // keys). bits < 1024 is rejected.
 func NewRSA(id string, bits int) (*USIG, error) {

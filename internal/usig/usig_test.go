@@ -202,3 +202,47 @@ func TestUIBindingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestResumeHMACContinuesCounter models a replica-process restart: the
+// trusted counter survives the application-domain reset, so the resumed
+// USIG's first UI follows directly after the old incarnation's last one and
+// still verifies. A counter that restarted from zero would be dropped by
+// every peer's FIFO gate.
+func TestResumeHMACContinuesCounter(t *testing.T) {
+	old, _ := NewHMAC("r1", testKey)
+	for i := 0; i < 5; i++ {
+		if _, err := old.CreateUI([]byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := old.Counter()
+	if last != 5 {
+		t.Fatalf("counter = %d, want 5", last)
+	}
+
+	resumed, err := ResumeHMAC("r1", testKey, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Counter() != last {
+		t.Fatalf("resumed counter = %d, want %d", resumed.Counter(), last)
+	}
+	ui, err := resumed.CreateUI([]byte("after restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ui.Counter != last+1 {
+		t.Fatalf("first resumed UI counter = %d, want %d", ui.Counter, last+1)
+	}
+	v, _ := NewHMACVerifier(testKey)
+	if err := v.VerifyUI([]byte("after restart"), ui); err != nil {
+		t.Fatalf("resumed UI does not verify: %v", err)
+	}
+
+	if _, err := ResumeHMAC("", testKey, 1); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := ResumeHMAC("r1", []byte("short"), 1); err == nil {
+		t.Error("short key should fail")
+	}
+}
