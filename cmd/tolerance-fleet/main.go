@@ -75,6 +75,7 @@ import (
 	"strings"
 	"syscall"
 
+	"tolerance/internal/chaos"
 	"tolerance/internal/fleet"
 	"tolerance/internal/profiling"
 	"tolerance/internal/strategies"
@@ -119,6 +120,9 @@ func run() (retErr error) {
 	manifestPath := flag.String("manifest", "", "write the run manifest JSON to this file (\"-\" = stderr; defaults to <checkpoint>.manifest.json when -checkpoint is set)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	chaosProfile := flag.String("chaos-profile", "", "arm the seeded fault-injection plane with this profile ("+strings.Join(chaos.Profiles(), " | ")+"); faults hit the transport and checkpoint layers only — the result must stay byte-identical")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos plan's deterministic fault schedule")
+	chaosDescribe := flag.Bool("chaos-describe", false, "print the armed chaos plan (profile, seed, schedule digest) and exit")
 	flag.Parse()
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
@@ -131,9 +135,29 @@ func run() (retErr error) {
 		}
 	}()
 
+	// The chaos plan arms before any transport or checkpoint exists, so
+	// every layer below sees the same seeded schedule. -chaos-describe is
+	// the out-of-band certificate: CI compares its digest against the
+	// chaos.plan_digest gauge in each process's manifest.
+	var plan *chaos.Plan
+	if *chaosProfile != "" {
+		plan, err = chaos.NewPlanByName(*chaosProfile, *chaosSeed)
+		if err != nil {
+			return err
+		}
+	}
+	if *chaosDescribe {
+		if plan == nil {
+			return fmt.Errorf("-chaos-describe needs -chaos-profile")
+		}
+		fmt.Println(plan.Describe())
+		return nil
+	}
+
 	// Telemetry is always collected (recording is allocation-free and all
 	// reporting stays off stdout); -metrics-addr additionally serves it live.
 	col := telemetry.New()
+	plan.Instrument(col)
 	if *metricsAddr != "" {
 		srv, err := telemetry.Serve(*metricsAddr, col)
 		if err != nil {
@@ -172,7 +196,7 @@ func run() (retErr error) {
 		if *checkpoint != "" || *shardSpec != "" || *resume || *suiteFile != "" || *dumpSuite != "" {
 			return fmt.Errorf("-connect workers take no suite or checkpoint flags; the coordinator owns both")
 		}
-		return runConnect(*connectAddr, *listenAddr, *advertiseAddr, *workers, col, *quiet)
+		return runConnect(*connectAddr, *listenAddr, *advertiseAddr, *workers, col, plan, *quiet)
 	}
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %v (shard files are only accepted with -merge)", flag.Args())
@@ -249,7 +273,10 @@ func run() (retErr error) {
 	cache.Instrument(col)
 	cfg := fleet.Config{
 		Workers: *workers, Cache: cache, Shard: shard,
-		NoFitCache: *noFitCache, Telemetry: col,
+		NoFitCache: *noFitCache, Telemetry: col, Chaos: plan,
+	}
+	if plan != nil && !*quiet {
+		fmt.Fprintf(os.Stderr, "%s\n", plan.Describe())
 	}
 	if !*quiet {
 		// The meter throttles itself to ~10 Hz wall-clock, so the engine's
@@ -299,6 +326,12 @@ func run() (retErr error) {
 			}
 		}()
 		writer.Instrument(col)
+		if plan != nil {
+			// Disk faults (torn tails, bit rot) hit only record lines: the
+			// sink interposes below the JSON encoder, so the header written
+			// by Create/Append is already safely past.
+			writer.InterposeSink(plan.WrapCheckpointSink)
+		}
 		cfg.OnRecord = writer.Append
 	}
 
@@ -325,8 +358,9 @@ func run() (retErr error) {
 			return eperr
 		}
 		defer ep.Close()
+		col.CounterFunc(fleet.MetricFramesQuarantined, ep.QuarantinedFrames)
 		ccfg := fleet.CoordinatorConfig{
-			Endpoint:       ep,
+			Endpoint:       plan.WrapEndpoint(ep),
 			LeaseScenarios: *leaseScenarios,
 			Heartbeat:      *heartbeat,
 			LeaseTimeout:   *leaseTimeout,
@@ -388,12 +422,13 @@ func run() (retErr error) {
 // drain. Ctrl-C drains gracefully — the completed prefix of the current
 // lease is already shipped, and a Goodbye lets the coordinator re-lease
 // the remainder immediately.
-func runConnect(coordAddr, listen, advertise string, workers int, col *telemetry.Collector, quiet bool) error {
+func runConnect(coordAddr, listen, advertise string, workers int, col *telemetry.Collector, plan *chaos.Plan, quiet bool) error {
 	ep, err := transport.ListenTCPAdvertise(listen, advertise)
 	if err != nil {
 		return err
 	}
 	defer ep.Close()
+	col.CounterFunc(fleet.MetricFramesQuarantined, ep.QuarantinedFrames)
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -405,15 +440,19 @@ func runConnect(coordAddr, listen, advertise string, workers int, col *telemetry
 	cache := fleet.NewStrategyCache()
 	cache.Instrument(col)
 	wcfg := fleet.WorkerConfig{
-		Endpoint:    ep,
+		Endpoint:    plan.WrapEndpoint(ep),
 		Coordinator: coordAddr,
 		Workers:     workers,
 		Cache:       cache,
 		Telemetry:   col,
+		Chaos:       plan,
 	}
 	if !quiet {
 		wcfg.Logf = stderrLogf
 		fmt.Fprintf(os.Stderr, "worker: %s -> coordinator %s\n", ep.Addr(), coordAddr)
+		if plan != nil {
+			fmt.Fprintf(os.Stderr, "%s\n", plan.Describe())
+		}
 	}
 	err = fleet.ConnectWorker(ctx, wcfg)
 	switch {

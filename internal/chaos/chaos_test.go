@@ -1,0 +1,254 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tolerance/internal/telemetry"
+	"tolerance/internal/transport"
+)
+
+// recordingEndpoint captures outbound frames for assertions.
+type recordingEndpoint struct {
+	addr string
+	mu   sync.Mutex
+	sent []string
+}
+
+func (r *recordingEndpoint) Addr() string                      { return r.addr }
+func (r *recordingEndpoint) Receive() <-chan transport.Message { return nil }
+func (r *recordingEndpoint) Close() error                      { return nil }
+func (r *recordingEndpoint) Send(to string, payload []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sent = append(r.sent, to+":"+string(payload))
+	return nil
+}
+
+func (r *recordingEndpoint) frames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.sent...)
+}
+
+func TestNilPlanIsANoOp(t *testing.T) {
+	var p *Plan
+	inner := &recordingEndpoint{addr: "a"}
+	if got := p.WrapEndpoint(inner); got != transport.Endpoint(inner) {
+		t.Fatalf("nil plan should return the inner endpoint unchanged")
+	}
+	var buf bytes.Buffer
+	if got := p.WrapCheckpointSink(&buf); got != (interface{})(&buf) {
+		t.Fatalf("nil plan should return the sink unchanged")
+	}
+}
+
+func TestDecisionStreamIsPureInTheSeed(t *testing.T) {
+	// Two plans with the same seed must inject the identical fault pattern
+	// over the same traffic; a different seed must diverge.
+	pattern := func(seed int64) []string {
+		inner := &recordingEndpoint{addr: "w1"}
+		ep := NewPlan(catalog["lossy"], seed).WrapEndpoint(inner)
+		for i := 0; i < 400; i++ {
+			_ = ep.Send("coord", []byte(fmt.Sprintf("frame-%03d", i)))
+		}
+		time.Sleep(50 * time.Millisecond) // let deferred frames land
+		return inner.frames()
+	}
+	a, b := pattern(7), pattern(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	if len(a) == 400 {
+		t.Fatalf("lossy profile delivered all 400 frames — no faults injected")
+	}
+	other := pattern(8)
+	if len(other) == len(a) {
+		// Delivery counts can collide; compare the delivered multisets.
+		same := true
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("seeds 7 and 8 injected the identical fault pattern")
+		}
+	}
+}
+
+func TestDigestCertifiesTheSchedule(t *testing.T) {
+	p1, err := NewPlanByName("lossy-partition", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := NewPlanByName("lossy-partition", 7)
+	if p1.Digest() != p2.Digest() {
+		t.Fatalf("same profile+seed, different digests")
+	}
+	if d, _ := NewPlanByName("lossy-partition", 8); d.Digest() == p1.Digest() {
+		t.Fatalf("different seeds share a digest")
+	}
+	if d, _ := NewPlanByName("lossy", 7); d.Digest() == p1.Digest() {
+		t.Fatalf("different profiles share a digest")
+	}
+	if p1.Digest32() != uint32(p1.Digest()>>32)^uint32(p1.Digest()) {
+		t.Fatalf("Digest32 is not the documented fold")
+	}
+	if _, err := NewPlanByName("no-such-profile", 1); err == nil {
+		t.Fatalf("unknown profile should error")
+	}
+}
+
+func TestResetEveryInjectsOnSchedule(t *testing.T) {
+	inner := &recordingEndpoint{addr: "w1"}
+	plan := NewPlan(Profile{Name: "t", ResetEvery: 5}, 1)
+	ep := plan.WrapEndpoint(inner)
+	var resets int
+	for i := 0; i < 20; i++ {
+		if err := ep.Send("coord", []byte("x")); errors.Is(err, ErrReset) {
+			resets++
+		}
+	}
+	if resets != 4 {
+		t.Fatalf("ResetEvery=5 over 20 frames: %d resets, want 4", resets)
+	}
+	if got := len(inner.frames()); got != 16 {
+		t.Fatalf("delivered %d frames, want 16", got)
+	}
+}
+
+func TestPartitionWindowIsAsymmetricAndHeals(t *testing.T) {
+	prof := Profile{
+		Name:       "t",
+		Partitions: []Partition{{StartMS: 100, DurationMS: 100, Fraction: 1}},
+	}
+	plan := NewPlan(prof, 1)
+	clock := time.Unix(0, 0)
+	plan.SetClock(func() time.Time { return clock })
+
+	inner := &recordingEndpoint{addr: "w1"}
+	ep := plan.WrapEndpoint(inner)
+
+	_ = ep.Send("coord", []byte("before"))
+	clock = clock.Add(150 * time.Millisecond) // inside the window
+	_ = ep.Send("coord", []byte("during"))
+	clock = clock.Add(100 * time.Millisecond) // healed
+	_ = ep.Send("coord", []byte("after"))
+
+	got := inner.frames()
+	if len(got) != 2 || got[0] != "coord:before" || got[1] != "coord:after" {
+		t.Fatalf("partition window misbehaved: delivered %v", got)
+	}
+	if n := plan.c.partitioned.Load(); n != 1 {
+		t.Fatalf("partitioned counter = %d, want 1", n)
+	}
+
+	// Fraction selects dark endpoints purely from the seed: with Fraction
+	// 0.5 over many addresses, both dark and lit senders must exist, and
+	// the split must be identical across plan instances.
+	half := Profile{Name: "t", Partitions: []Partition{{StartMS: 0, DurationMS: 1000, Fraction: 0.5}}}
+	darkSet := func(seed int64) (dark, lit int) {
+		p := NewPlan(half, seed)
+		p.SetClock(func() time.Time { return clock })
+		for i := 0; i < 64; i++ {
+			if p.dark("partition", 0, fmt.Sprintf("w%d", i), 0.5) {
+				dark++
+			} else {
+				lit++
+			}
+		}
+		return
+	}
+	d1, l1 := darkSet(7)
+	d2, _ := darkSet(7)
+	if d1 == 0 || l1 == 0 {
+		t.Fatalf("fraction 0.5 selected %d dark / %d lit of 64", d1, l1)
+	}
+	if d1 != d2 {
+		t.Fatalf("dark membership not pure in the seed: %d vs %d", d1, d2)
+	}
+}
+
+func TestStallSwallowsOutbound(t *testing.T) {
+	prof := Profile{Name: "t", Stalls: []Stall{{StartMS: 0, DurationMS: 100, Fraction: 1}}}
+	plan := NewPlan(prof, 1)
+	clock := time.Unix(0, 0)
+	plan.SetClock(func() time.Time { return clock })
+	inner := &recordingEndpoint{addr: "r1"}
+	ep := plan.WrapEndpoint(inner)
+	if err := ep.Send("r2", []byte("x")); err != nil {
+		t.Fatalf("stall should swallow, not error: %v", err)
+	}
+	clock = clock.Add(200 * time.Millisecond)
+	_ = ep.Send("r2", []byte("y"))
+	if got := inner.frames(); len(got) != 1 || got[0] != "r2:y" {
+		t.Fatalf("stall window misbehaved: %v", got)
+	}
+}
+
+func TestCheckpointSinkTearsAndCorrupts(t *testing.T) {
+	plan := NewPlan(Profile{Name: "t", CorruptEvery: 4, TearAt: 2}, 1)
+	var buf bytes.Buffer
+	w := plan.WrapCheckpointSink(&buf)
+	lines := [][]byte{
+		[]byte(`{"rec":1}` + "\n"),
+		[]byte(`{"rec":2}` + "\n"), // torn: half written, full length reported
+		[]byte(`{"rec":3}` + "\n"),
+		[]byte(`{"rec":4}` + "\n"), // corrupted: one byte flipped
+	}
+	for i, l := range lines {
+		n, err := w.Write(l)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if n != len(l) {
+			t.Fatalf("write %d reported %d bytes, want %d (faults must be silent)", i, n, len(l))
+		}
+	}
+	want := len(lines[0]) + len(lines[1])/2 + len(lines[2]) + len(lines[3])
+	if buf.Len() != want {
+		t.Fatalf("sink holds %d bytes, want %d", buf.Len(), want)
+	}
+	if plan.c.ckptTorn.Load() != 1 || plan.c.ckptCorrupt.Load() != 1 {
+		t.Fatalf("tear/corrupt counters = %d/%d, want 1/1",
+			plan.c.ckptTorn.Load(), plan.c.ckptCorrupt.Load())
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`{"rec":4}`)) {
+		t.Fatalf("record 4 was not corrupted")
+	}
+}
+
+func TestInstrumentReconciles(t *testing.T) {
+	inner := &recordingEndpoint{addr: "w1"}
+	plan := NewPlan(catalog["lossy"], 3)
+	col := telemetry.New()
+	plan.Instrument(col)
+	ep := plan.WrapEndpoint(inner)
+	for i := 0; i < 500; i++ {
+		_ = ep.Send("coord", []byte("x"))
+	}
+	time.Sleep(50 * time.Millisecond)
+	snap := col.Snapshot()
+	val := func(name string) int64 {
+		v, ok := snap.Counters[name]
+		if !ok {
+			t.Fatalf("counter %s missing from snapshot", name)
+		}
+		return v
+	}
+	frames := val(MetricFrames)
+	sum := val(MetricFramesPassed) + val(MetricFramesDropped) + val(MetricFramesDelayed) +
+		val(MetricFramesReorder) + val(MetricFramesPart) + val(MetricFramesStalled) + val(MetricResets)
+	if frames != 500 || sum != frames {
+		t.Fatalf("reconciliation identity broken: frames=%d, bucket sum=%d", frames, sum)
+	}
+	if digest := snap.Gauges[MetricPlanDigest]; digest != float64(plan.Digest32()) {
+		t.Fatalf("plan digest gauge = %v, want %d", digest, plan.Digest32())
+	}
+}

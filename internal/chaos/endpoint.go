@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"time"
+
+	"tolerance/internal/dist"
+	"tolerance/internal/transport"
+)
+
+// WrapEndpoint decorates a transport endpoint with the plan's outbound
+// fault injection. Receive, Addr and Close pass straight through; every
+// Send consults the link's decision stream and either delivers, drops,
+// duplicates, defers or fails the frame. A nil plan returns inner
+// unchanged, so call sites wrap unconditionally.
+//
+// Faults are injected on the *sender* side only. Wrapping both ends of a
+// link therefore composes (each direction draws from its own stream)
+// instead of double-sampling the same frame, and a wrapped endpoint can
+// talk to an unwrapped one — the shape of a partial chaos rollout.
+func (p *Plan) WrapEndpoint(inner transport.Endpoint) transport.Endpoint {
+	if p == nil {
+		return inner
+	}
+	return &endpoint{p: p, inner: inner}
+}
+
+type endpoint struct {
+	p     *Plan
+	inner transport.Endpoint
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+func (e *endpoint) Addr() string                      { return e.inner.Addr() }
+func (e *endpoint) Receive() <-chan transport.Message { return e.inner.Receive() }
+func (e *endpoint) Close() error                      { return e.inner.Close() }
+
+// Send runs the frame through the fault schedule. The decision order is
+// fixed — stall, partition, reset, drop, duplicate, delay, reorder — and
+// each stage draws its own SplitMix64 word from the link stream, so a
+// stage's outcome never perturbs the draws of later frames.
+func (e *endpoint) Send(to string, payload []byte) error {
+	p, prof := e.p, &e.p.Profile
+	from := e.inner.Addr()
+	l := p.link(from, to)
+	n := l.n.Add(1) - 1 // this frame's ordinal on the directed link
+	p.c.frames.Add(1)
+
+	if p.stalled(from) {
+		p.c.stalled.Add(1)
+		return nil // a wedged sender neither delivers nor errors
+	}
+	if p.partitioned(from, to) {
+		p.c.partitioned.Add(1)
+		return nil // partitions swallow silently, like the real network
+	}
+	if prof.ResetEvery > 0 && n%uint64(prof.ResetEvery) == uint64(prof.ResetEvery)-1 {
+		p.c.resets.Add(1)
+		return ErrReset
+	}
+
+	w := dist.SplitMix64(l.base + n*dist.GoldenGamma)
+	if prof.Drop > 0 && unit(w) < prof.Drop {
+		p.c.dropped.Add(1)
+		return nil
+	}
+	w = dist.SplitMix64(w)
+	dup := prof.Dup > 0 && unit(w) < prof.Dup
+	w = dist.SplitMix64(w)
+	if prof.Delay > 0 && unit(w) < prof.Delay {
+		w = dist.SplitMix64(w)
+		hold := time.Duration(1+w%uint64(max(prof.DelayMS, 1))) * time.Millisecond
+		p.c.delayed.Add(1)
+		e.defer_(to, payload, hold, dup)
+		return nil
+	}
+	w = dist.SplitMix64(w)
+	if prof.Reorder > 0 && unit(w) < prof.Reorder {
+		p.c.reordered.Add(1)
+		e.defer_(to, payload, time.Millisecond, dup)
+		return nil
+	}
+
+	p.c.passed.Add(1)
+	err := e.inner.Send(to, payload)
+	if dup && err == nil {
+		p.c.duplicated.Add(1)
+		_ = e.inner.Send(to, payload)
+	}
+	return err
+}
+
+// defer_ delivers the frame after the hold, copying the payload because
+// the caller may reuse its buffer the moment Send returns. A send racing
+// endpoint close just errors inside the timer goroutine, which is the same
+// fate an in-flight TCP segment meets.
+func (e *endpoint) defer_(to string, payload []byte, hold time.Duration, dup bool) {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	time.AfterFunc(hold, func() {
+		if err := e.inner.Send(to, cp); err != nil {
+			return
+		}
+		if dup {
+			e.p.c.duplicated.Add(1)
+			_ = e.inner.Send(to, cp)
+		}
+	})
+}

@@ -27,6 +27,7 @@ import (
 
 	"tolerance/internal/attacker"
 	"tolerance/internal/baselines"
+	"tolerance/internal/chaos"
 	"tolerance/internal/dist"
 	"tolerance/internal/emulation"
 	"tolerance/internal/ids"
@@ -74,6 +75,13 @@ type Options struct {
 	ProbeTimeout time.Duration
 	// AdminTimeout bounds one reconfiguration request (default 3s).
 	AdminTimeout time.Duration
+	// Chaos, when set, wraps every replica's transport endpoint with the
+	// fault plan's injector (drops, duplicates, delays, partitions …), so
+	// the live MinBFT group runs over an impaired network — the §VIII-A
+	// NETEM emulation, but seeded and certified. Client endpoints (probe
+	// and admin) are left clean: they are the measurement harness, not the
+	// system under test.
+	Chaos *chaos.Plan
 }
 
 func (o *Options) applyDefaults() {
@@ -429,7 +437,7 @@ func (c *cluster) startNode(ep *transport.TCPEndpoint, members []string, phase i
 		ID:             addr,
 		Members:        members,
 		K:              c.sc.K,
-		Endpoint:       ep,
+		Endpoint:       c.opts.Chaos.WrapEndpoint(ep),
 		USIG:           u,
 		Verifier:       c.verifier,
 		Registry:       c.registry,
@@ -812,7 +820,7 @@ func (c *cluster) startNodeOn(ep *transport.TCPEndpoint, members []string, phase
 		ID:             addr,
 		Members:        members,
 		K:              c.sc.K,
-		Endpoint:       ep,
+		Endpoint:       c.opts.Chaos.WrapEndpoint(ep),
 		USIG:           u,
 		Verifier:       c.verifier,
 		Registry:       c.registry,

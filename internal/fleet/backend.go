@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"tolerance/internal/chaos"
 	"tolerance/internal/clusterbackend"
 	"tolerance/internal/emulation"
 	"tolerance/internal/telemetry"
@@ -29,6 +30,10 @@ type BackendOptions struct {
 	// Shard is the telemetry shard (the engine passes the worker id), so
 	// concurrent scenarios on one collector do not contend.
 	Shard int
+	// Chaos is the armed fault-injection plan (nil = off). Backends that
+	// open real network links wrap them with Chaos.WrapEndpoint; the
+	// emulation backend has nothing to wrap.
+	Chaos *chaos.Plan
 }
 
 // ScenarioBackend executes one fully-resolved emulation scenario — seed,
@@ -126,6 +131,7 @@ func (clusterBackend) Run(ctx context.Context, sc emulation.Scenario, opts Backe
 	res, err := clusterbackend.Run(ctx, sc, clusterbackend.Options{
 		Telemetry: opts.Telemetry,
 		Shard:     opts.Shard,
+		Chaos:     opts.Chaos,
 	})
 	if err != nil {
 		return emulation.Metrics{}, fmt.Errorf("cluster backend: %w", err)

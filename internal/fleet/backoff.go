@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"time"
+
+	"tolerance/internal/dist"
+)
+
+// Server-supplied backoff hints (Wait.BackoffMillis) are clamped to this
+// window before use: a coordinator bug — or a chaos-corrupted frame that
+// still parses — must not be able to park a worker for an hour or spin it
+// at full rate.
+const (
+	minServerBackoff = 10 * time.Millisecond
+	maxServerBackoff = 30 * time.Second
+)
+
+// clampServerBackoff sanitizes a Wait.BackoffMillis hint; non-positive
+// values (older coordinators send zero) fall back to fallback, everything
+// is clamped to [minServerBackoff, maxServerBackoff].
+func clampServerBackoff(millis int, fallback time.Duration) time.Duration {
+	d := time.Duration(millis) * time.Millisecond
+	if d <= 0 {
+		d = fallback
+	}
+	return min(max(d, minServerBackoff), maxServerBackoff)
+}
+
+// expBackoff is a capped exponential backoff with deterministic jitter:
+// successive delays double from base to cap, each jittered into [d/2, d)
+// by a SplitMix64 stream seeded from the owner's identity. Determinism
+// matters here for the same reason it does everywhere else in the fleet —
+// a retry storm must be reproducible from the seed, not from goroutine
+// scheduling — while the per-worker seed still staggers a herd of workers
+// that all lost the same coordinator at the same instant.
+//
+// Not safe for concurrent use; each retry loop owns its own instance.
+type expBackoff struct {
+	base time.Duration
+	cap  time.Duration
+	cur  time.Duration
+	rng  uint64
+}
+
+// newBackoff seeds a backoff stream from a stable identity string
+// (typically the endpoint address, so two workers on one host diverge).
+func newBackoff(base, cap time.Duration, identity string) *expBackoff {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	h := fnv.New64a()
+	h.Write([]byte(identity))
+	return &expBackoff{base: base, cap: cap, rng: dist.SplitMix64(h.Sum64() ^ dist.GoldenGamma)}
+}
+
+// next returns the jittered delay and advances the schedule.
+func (b *expBackoff) next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.base
+	}
+	d := b.cur
+	b.cur = min(2*b.cur, b.cap)
+	b.rng = dist.SplitMix64(b.rng)
+	// Jitter into [d/2, d): full magnitude spread without ever collapsing
+	// to zero (a zero sleep would turn loss recovery into a hot loop).
+	frac := float64(b.rng>>11) / (1 << 53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// reset snaps the schedule back to base — called on success so one rough
+// patch does not tax the next hundred healthy retries.
+func (b *expBackoff) reset() { b.cur = 0 }

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExpBackoffGrowsJitteredAndCapped(t *testing.T) {
+	bo := newBackoff(100*time.Millisecond, time.Second, "w1:7001/wait")
+	prev := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		d := bo.next()
+		if d <= 0 {
+			t.Fatalf("step %d: non-positive delay %v", i, d)
+		}
+		if d >= time.Second {
+			t.Fatalf("step %d: delay %v at or above the cap", i, d)
+		}
+		// Jitter lands in [sched/2, sched) where sched doubles to the cap,
+		// so every delay is below the cap and the early ones stay small.
+		if i == 0 && d >= 100*time.Millisecond {
+			t.Fatalf("first delay %v should be jittered below base", d)
+		}
+		if i >= 6 && d < 250*time.Millisecond {
+			t.Fatalf("step %d: delay %v has not grown toward the cap", i, d)
+		}
+		prev = d
+	}
+	_ = prev
+
+	bo.reset()
+	if d := bo.next(); d >= 100*time.Millisecond {
+		t.Fatalf("after reset, delay %v should be back at jittered base", d)
+	}
+}
+
+func TestExpBackoffIsDeterministicPerIdentity(t *testing.T) {
+	seq := func(id string) []time.Duration {
+		bo := newBackoff(50*time.Millisecond, time.Second, id)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = bo.next()
+		}
+		return out
+	}
+	a, b := seq("w1:7001/dial"), seq("w1:7001/dial")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same identity diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq("w2:7002/dial")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different identities produced the identical jitter schedule — no stagger")
+	}
+}
+
+func TestClampServerBackoff(t *testing.T) {
+	hb := 200 * time.Millisecond
+	cases := []struct {
+		millis int
+		want   time.Duration
+	}{
+		{0, hb},                       // legacy zero falls back to the heartbeat
+		{-5, hb},                      // nonsense falls back too
+		{1, minServerBackoff},         // too eager: floored
+		{3_600_000, maxServerBackoff}, // an hour: ceilinged
+		{500, 500 * time.Millisecond}, // sane hints pass through
+	}
+	for _, tc := range cases {
+		if got := clampServerBackoff(tc.millis, hb); got != tc.want {
+			t.Errorf("clampServerBackoff(%d) = %v, want %v", tc.millis, got, tc.want)
+		}
+	}
+}

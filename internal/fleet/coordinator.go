@@ -93,6 +93,14 @@ type coordinator struct {
 	nextID  uint64
 	workers map[string]time.Time
 
+	// degraded marks the parked state: work remains but no worker has been
+	// heard from for at least a lease timeout — the whole fleet partitioned
+	// away or dead. The coordinator keeps ticking (leases already expired
+	// back into the queue) and logs the transition once per episode instead
+	// of spamming. started anchors the grace period before the first worker.
+	degraded bool
+	started  time.Time
+
 	tm *coordMetrics
 }
 
@@ -110,6 +118,7 @@ type coordMetrics struct {
 	workers   *telemetry.Gauge
 	pending   *telemetry.Gauge
 	leasesOut *telemetry.Gauge
+	degraded  *telemetry.Gauge
 }
 
 func newCoordMetrics(col *telemetry.Collector) *coordMetrics {
@@ -129,6 +138,7 @@ func newCoordMetrics(col *telemetry.Collector) *coordMetrics {
 		workers:   col.Gauge(MetricCoordWorkers),
 		pending:   col.Gauge(MetricCoordScenariosPending),
 		leasesOut: col.Gauge(MetricCoordLeasesOutstanding),
+		degraded:  col.Gauge(MetricCoordDegraded),
 	}
 }
 
@@ -220,6 +230,7 @@ func Coordinate(ctx context.Context, suite Suite, cfg CoordinatorConfig) (*Resul
 		defer endRun()
 	}
 
+	c.started = time.Now()
 	ticker := time.NewTicker(c.hb)
 	defer ticker.Stop()
 	for {
@@ -264,7 +275,7 @@ func (c *coordinator) handle(msg transport.Message) error {
 		if _, known := c.workers[msg.From]; !known {
 			c.logf("coordinator: worker %s connected", msg.From)
 		}
-		c.workers[msg.From] = now
+		c.alive(msg.From, now)
 		c.updateGauges()
 		c.send(msg.From, proto.KindWelcome, proto.Welcome{
 			Version:            proto.Version,
@@ -275,7 +286,7 @@ func (c *coordinator) handle(msg transport.Message) error {
 			LeaseTimeoutMillis: int(c.timeout / time.Millisecond),
 		})
 	case proto.KindLeaseRequest:
-		c.workers[msg.From] = now
+		c.alive(msg.From, now)
 		if lease, ok := c.grant(msg.From, now); ok {
 			c.send(msg.From, proto.KindLease, lease)
 		} else if c.next == c.total {
@@ -284,7 +295,7 @@ func (c *coordinator) handle(msg transport.Message) error {
 			// Outstanding leases cover the remaining work; the worker backs
 			// off and asks again (it inherits expired ranges that way).
 			c.send(msg.From, proto.KindWait, proto.Wait{
-				BackoffMillis: int(c.hb / time.Millisecond),
+				BackoffMillis: c.waitBackoffMillis(),
 			})
 		}
 	case proto.KindRecords:
@@ -293,7 +304,7 @@ func (c *coordinator) handle(msg transport.Message) error {
 			c.reject()
 			return nil
 		}
-		c.workers[msg.From] = now
+		c.alive(msg.From, now)
 		if l, ok := c.leases[batch.LeaseID]; ok {
 			l.last = now
 		}
@@ -312,7 +323,7 @@ func (c *coordinator) handle(msg transport.Message) error {
 			c.reject()
 			return nil
 		}
-		c.workers[msg.From] = now
+		c.alive(msg.From, now)
 		if l, ok := c.leases[hb.LeaseID]; ok {
 			l.last = now
 		}
@@ -325,6 +336,19 @@ func (c *coordinator) handle(msg transport.Message) error {
 		c.reject()
 	}
 	return nil
+}
+
+// waitBackoffMillis is the adaptive backoff hint sent with a workless
+// Wait: one heartbeat interval when little is outstanding (the next lease
+// frees up soon), scaling with outstanding-lease pressure — many live
+// leases mean the idle worker will be told "no" for a while, so polling on
+// every heartbeat is pure load on a coordinator that is already busy
+// ingesting — and clamped to the lease timeout so an expired range never
+// waits long for a taker. Workers clamp the hint again on their side;
+// neither end trusts the other's arithmetic.
+func (c *coordinator) waitBackoffMillis() int {
+	d := c.hb * time.Duration(1+min(len(c.leases), 4))
+	return int(min(d, c.timeout) / time.Millisecond)
 }
 
 // ingest validates and dedupes one wire record, folding it through the
@@ -459,7 +483,32 @@ func (c *coordinator) expireLeases(now time.Time) {
 			c.logf("coordinator: worker %s presumed dead", addr)
 		}
 	}
+	// Graceful degradation: work remains but every worker is gone —
+	// partitioned away, crashed, or never arrived. The expiries above
+	// already parked their leases back in the queue; nothing is served
+	// until a worker reappears, so flag the episode once and keep waiting
+	// instead of spinning through grant attempts against an empty room.
+	if !c.degraded && len(c.workers) == 0 && c.next < c.total && now.Sub(c.started) > c.timeout {
+		c.degraded = true
+		if c.tm != nil {
+			c.tm.degraded.Set(1)
+		}
+		c.logf("coordinator: degraded — %d scenarios pending, no reachable workers; leases parked until the fleet returns",
+			c.total-len(c.records))
+	}
 	c.updateGauges()
+}
+
+// alive records a sign of life from a worker, ending any degraded episode.
+func (c *coordinator) alive(addr string, now time.Time) {
+	c.workers[addr] = now
+	if c.degraded {
+		c.degraded = false
+		if c.tm != nil {
+			c.tm.degraded.Set(0)
+		}
+		c.logf("coordinator: recovered — worker %s reachable, resuming lease service", addr)
+	}
 }
 
 // releaseWorker handles a voluntary departure: every lease the worker

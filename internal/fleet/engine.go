@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tolerance/internal/chaos"
 	"tolerance/internal/dist"
 	"tolerance/internal/emulation"
 	"tolerance/internal/telemetry"
@@ -69,6 +70,13 @@ type Config struct {
 	// include the strategy-cache statistics in the same snapshot, also call
 	// Cache.Instrument with this collector.
 	Telemetry *telemetry.Collector
+	// Chaos, when set, is the armed fault-injection plan threaded to
+	// non-emulation backends (the cluster backend wraps its replica links
+	// with it). The in-process emulation path never touches the network or
+	// disk, so the plan cannot perturb it — records stay a pure function of
+	// (suite, index) and the byte-stability contract holds under chaos by
+	// construction. nil disables injection.
+	Chaos *chaos.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -349,7 +357,7 @@ func Run(ctx context.Context, suite Suite, cfg Config) (*Result, error) {
 								run = func() (emulation.Metrics, error) { return runner.RunInto(sc) }
 							} else if be, ok := LookupBackend(cell.Backend); ok {
 								run = func() (emulation.Metrics, error) {
-									return be.Run(ctx, sc, BackendOptions{Telemetry: cfg.Telemetry, Shard: wid})
+									return be.Run(ctx, sc, BackendOptions{Telemetry: cfg.Telemetry, Shard: wid, Chaos: cfg.Chaos})
 								}
 							} else {
 								// Unreachable after Validate — defensive.

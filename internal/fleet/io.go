@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
@@ -26,6 +27,31 @@ type RunRecord struct {
 	Index   int               `json:"index"`
 	Cell    int               `json:"cell"`
 	Metrics emulation.Metrics `json:"metrics"`
+}
+
+// checkpointLine is the on-disk shape of one record line: the RunRecord
+// fields flattened (the embedding keeps the JSON identical to PR-era files
+// plus one trailing field) and a CRC32 (IEEE) of the record's canonical
+// JSON encoding. The checksum turns silent corruption — a flipped byte
+// that still parses as valid JSON — into a detected, skippable record
+// instead of a poisoned resume. CRC is a pointer so legacy lines without
+// one read back as nil and are accepted unverified.
+type checkpointLine struct {
+	RunRecord
+	CRC *uint32 `json:"crc,omitempty"`
+}
+
+// recordCRC is the per-record checksum: CRC32 (IEEE) over the record's
+// canonical JSON bytes. emulation.Metrics is flat float64/int data that
+// Go's JSON encoding round-trips exactly, so a reader can re-marshal the
+// parsed record and get the writer's bytes back — no need to checksum the
+// raw line (whose crc field would self-reference).
+func recordCRC(rec RunRecord) (uint32, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(body), nil
 }
 
 // checkpointHeader is the first line of a checkpoint / shard result file.
@@ -61,6 +87,11 @@ type Checkpoint struct {
 	Shard Shard
 	// Records maps scenario index to its completed record.
 	Records map[int]RunRecord
+	// Corrupted counts record lines that were detected as damaged — a
+	// parse failure before the final line, or a CRC mismatch — and skipped.
+	// Their scenarios are simply missing from Records, so a resume re-runs
+	// them; nothing about the rest of the file is distrusted.
+	Corrupted int
 	// validBytes is the extent of the intact newline-terminated prefix (of
 	// the decompressed payload for gzip files); AppendCheckpoint truncates
 	// plain files to it so a torn tail is never glued onto fresh records.
@@ -101,9 +132,14 @@ func readCheckpointBytes(path string) ([]byte, error) {
 
 // ReadCheckpoint parses a checkpoint file (gzip-framed when the path ends
 // in .gz). The format is JSONL: a header line followed by one record per
-// line. A torn final line — the signature of a run killed mid-write — is
-// ignored, so a crashed run's file is always loadable; corruption anywhere
-// else is an error.
+// line, each carrying a CRC32 of its record (absent in legacy files, which
+// still read fine). A torn final line — the signature of a run killed
+// mid-write — is ignored, so a crashed run's file is always loadable.
+// A damaged line anywhere else (unparseable, or parseable with a CRC
+// mismatch — a flipped byte can leave valid JSON with a wrong value) is
+// skipped and counted in Checkpoint.Corrupted rather than failing the
+// load or silently truncating the resume prefix: the affected scenarios
+// are re-run on resume, every record after them is kept.
 func ReadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := readCheckpointBytes(path)
 	if err != nil {
@@ -157,18 +193,31 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 		gz:         gzipCheckpoint(path),
 	}
 	for i, line := range body {
-		var rec RunRecord
+		var rec checkpointLine
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			if i == len(body)-1 {
 				break // torn tail from a killed run; the record is simply redone
 			}
-			return nil, fmt.Errorf("%w: checkpoint %s line %d: %v", ErrBadSuite, path, i+2, err)
+			// A torn or corrupted line mid-file (a chaos tear glues a half
+			// line onto its successor). validBytes still advances: the
+			// damage is already durable, and truncating it away would also
+			// discard every good record that follows.
+			ck.Corrupted++
+			ck.validBytes += int64(len(line) + 1)
+			continue
+		}
+		if rec.CRC != nil {
+			if sum, err := recordCRC(rec.RunRecord); err != nil || sum != *rec.CRC {
+				ck.Corrupted++
+				ck.validBytes += int64(len(line) + 1)
+				continue
+			}
 		}
 		if rec.Index < 0 || rec.Index >= hdr.Scenarios || !shard.Contains(rec.Index) {
 			return nil, fmt.Errorf("%w: checkpoint %s has out-of-shard scenario %d",
 				ErrBadSuite, path, rec.Index)
 		}
-		ck.Records[rec.Index] = rec
+		ck.Records[rec.Index] = rec.RunRecord
 		ck.validBytes += int64(len(line) + 1)
 	}
 	return ck, nil
@@ -180,8 +229,9 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 // JSONL stream gzip-compressed (for very large grids); each sync flushes a
 // compressed block, so the synced prefix of a killed gzip run is always
 // decompressible. Records encode through one persistent json.Encoder bound
-// to the output pipeline, so a checkpoint write allocates no per-record
-// output buffer.
+// to the output pipeline; each line carries a CRC32 of the record (see
+// checkpointLine) so readers can detect corruption instead of trusting
+// whatever parses.
 type CheckpointWriter struct {
 	f        *os.File
 	bw       *bufio.Writer
@@ -296,9 +346,31 @@ func AppendCheckpoint(path string, ck *Checkpoint) (*CheckpointWriter, error) {
 	return newCheckpointWriter(path, f), nil
 }
 
-// Append writes one completed scenario record.
+// InterposeSink rebuilds the record encoder over wrap(sink) — the chaos
+// plane's hook for injecting torn and corrupted writes under the JSONL
+// stream. Call it right after CreateCheckpoint or AppendCheckpoint: the
+// header (already written) stays intact, and every subsequent record line
+// reaches the file through the wrapper as exactly one Write. A nil wrap is
+// a no-op.
+func (c *CheckpointWriter) InterposeSink(wrap func(io.Writer) io.Writer) {
+	if wrap == nil {
+		return
+	}
+	var sink io.Writer = c.bw
+	if c.zw != nil {
+		sink = c.zw
+	}
+	c.enc = json.NewEncoder(wrap(sink))
+}
+
+// Append writes one completed scenario record, stamped with its CRC32 so
+// a reader can tell bit rot from truth.
 func (c *CheckpointWriter) Append(rec RunRecord) error {
-	if err := c.writeLine(rec); err != nil {
+	sum, err := recordCRC(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	if err := c.writeLine(checkpointLine{RunRecord: rec, CRC: &sum}); err != nil {
 		return err
 	}
 	c.unsynced++

@@ -336,17 +336,88 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 		t.Errorf("after append: %d records, want %d", len(ck4.Records), len(ck3.Records)+1)
 	}
 
-	// Corruption before the tail is an error, not silent data loss.
+	// Corruption before the tail is detected, skipped and counted — not a
+	// fatal load error (that would strand every good record in the file)
+	// and not silent acceptance (the skipped scenario is re-run on resume).
 	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
 	if len(lines) > 3 {
-		lines[2] = "garbage"
+		// An unparseable line: the classic glued torn write.
+		bad := append([]string(nil), lines...)
+		bad[2] = "garbage"
+		badBytes := []byte(strings.Join(bad, "\n") + "\n")
 		badPath := filepath.Join(dir, "bad.jsonl")
-		if err := os.WriteFile(badPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		if err := os.WriteFile(badPath, badBytes, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ReadCheckpoint(badPath); err == nil {
-			t.Error("mid-file corruption should fail")
+		ck5, err := ReadCheckpoint(badPath)
+		if err != nil {
+			t.Fatalf("mid-file corruption should skip, not fail: %v", err)
 		}
+		if ck5.Corrupted != 1 {
+			t.Errorf("Corrupted = %d, want 1", ck5.Corrupted)
+		}
+		if len(ck5.Records) != len(ck.Records)-1 {
+			t.Errorf("corrupt checkpoint kept %d records, want %d (one skipped)",
+				len(ck5.Records), len(ck.Records)-1)
+		}
+		// validBytes must span the whole intact file (the damage is durable;
+		// truncating it away would discard the good records after it), so a
+		// resume append lands after the final record, not over line 3.
+		if ck5.validBytes != int64(len(badBytes)) {
+			t.Errorf("validBytes = %d, want %d", ck5.validBytes, len(badBytes))
+		}
+
+		// A flipped byte that still parses as JSON — wrong value, intact
+		// syntax — is exactly what the per-record CRC exists to catch.
+		// Flip a digit of the record's cell field: 0x02 keeps most digits
+		// digits ('0'→'2', '1'→'3'), so the line stays parseable with a
+		// wrong value.
+		flip := append([]string(nil), lines...)
+		flipped := []byte(flip[2])
+		at := strings.Index(flip[2], `"cell":`) + len(`"cell":`)
+		flipped[at] ^= 0x02
+		flip[2] = string(flipped)
+		flipPath := filepath.Join(dir, "flip.jsonl")
+		if err := os.WriteFile(flipPath, []byte(strings.Join(flip, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck6, err := ReadCheckpoint(flipPath)
+		if err != nil {
+			t.Fatalf("bit-rot checkpoint should load: %v", err)
+		}
+		if ck6.Corrupted != 1 {
+			t.Errorf("bit rot: Corrupted = %d, want 1", ck6.Corrupted)
+		}
+		if len(ck6.Records) != len(ck.Records)-1 {
+			t.Errorf("bit rot kept %d records, want %d", len(ck6.Records), len(ck.Records)-1)
+		}
+	}
+
+	// Legacy record lines without a crc field are accepted unverified —
+	// checkpoints written before the CRC era must keep resuming.
+	legacy := append([]string(nil), lines...)
+	for i := 1; i < len(legacy); i++ {
+		var rec RunRecord
+		if err := json.Unmarshal([]byte(legacy[i]), &rec); err != nil {
+			t.Fatal(err)
+		}
+		stripped, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy[i] = string(stripped)
+	}
+	legacyPath := filepath.Join(dir, "legacy.jsonl")
+	if err := os.WriteFile(legacyPath, []byte(strings.Join(legacy, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck7, err := ReadCheckpoint(legacyPath)
+	if err != nil {
+		t.Fatalf("legacy (pre-CRC) checkpoint should load: %v", err)
+	}
+	if len(ck7.Records) != len(ck.Records) || ck7.Corrupted != 0 {
+		t.Errorf("legacy checkpoint: %d records (want %d), Corrupted %d (want 0)",
+			len(ck7.Records), len(ck.Records), ck7.Corrupted)
 	}
 
 	// ReadShardSet cross-validation: duplicate coverage is rejected.

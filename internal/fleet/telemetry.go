@@ -70,9 +70,19 @@ const (
 	MetricCoordRecordsRejected = "coord.records_rejected"
 	// MetricCoordHeartbeats counts worker keep-alives.
 	MetricCoordHeartbeats = "coord.heartbeats"
+	// MetricCoordDegraded (gauge) is 1 while the coordinator has unleased
+	// work but zero reachable workers — every worker partitioned away,
+	// crashed, or never arrived. It parks and waits instead of spinning;
+	// the gauge (and a single log line per episode) is the operator's cue.
+	MetricCoordDegraded = "coord.degraded"
 	// MetricCoordScenariosPending (gauge) is the number of scenario
 	// indices still lacking a record.
 	MetricCoordScenariosPending = "coord.scenarios_pending"
+	// MetricFramesQuarantined counts malformed or oversized wire frames the
+	// TCP endpoint discarded while keeping the connection alive (see
+	// transport.TCPEndpoint.QuarantinedFrames). Nonzero under chaos is
+	// expected; nonzero without chaos means a misbehaving peer.
+	MetricFramesQuarantined = "transport.frames_quarantined"
 )
 
 // stepBuckets covers the suite step-count range (smoke suites run tens of

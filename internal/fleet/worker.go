@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tolerance/internal/chaos"
 	"tolerance/internal/fleet/proto"
 	"tolerance/internal/telemetry"
 	"tolerance/internal/transport"
@@ -49,6 +50,10 @@ type WorkerConfig struct {
 	// Telemetry, when set, instruments the local engine runs (the usual
 	// fleet.* metrics) — side-channel only, like everywhere else.
 	Telemetry *telemetry.Collector
+	// Chaos is the armed fault-injection plan (nil = off), threaded into
+	// each lease's engine Config so non-emulation backends inject faults
+	// too. The worker's wire endpoint is wrapped separately by the caller.
+	Chaos *chaos.Plan
 	// Logf, when set, receives operational one-liners (handshake, leases,
 	// drain). It must not write to stdout.
 	Logf func(format string, args ...any)
@@ -76,8 +81,17 @@ type workerSession struct {
 	suite   Suite
 	total   int
 	hb      time.Duration
+	leaseTO time.Duration
 	drained bool
 	sent    int
+
+	// waitBO paces the lease-wait loop (exponential, capped near the
+	// advertised lease timeout so an expired range is inherited promptly);
+	// sendBO paces send-failure retries inside call. Both jitter from a
+	// seed derived from the endpoint address, so a worker's retry cadence
+	// is reproducible yet staggered against its siblings'.
+	waitBO *expBackoff
+	sendBO *expBackoff
 }
 
 // ConnectWorker joins a coordinator (Coordinate / tolerance-fleet -serve)
@@ -108,6 +122,7 @@ func ConnectWorker(ctx context.Context, cfg WorkerConfig) error {
 		cfg.testBatchRecords = workerBatchRecords
 	}
 	s := &workerSession{cfg: cfg}
+	s.sendBO = newBackoff(50*time.Millisecond, time.Second, cfg.Endpoint.Addr()+"/send")
 	if err := s.handshake(ctx); err != nil {
 		return err
 	}
@@ -157,6 +172,10 @@ func (s *workerSession) handshake(ctx context.Context) error {
 	}
 	deadline := time.Now().Add(timeout)
 	attempt := time.Second
+	// Redial pacing: exponential from a quick first retry up to a couple
+	// of seconds, jittered per endpoint so a worker herd restarted together
+	// does not hammer a recovering coordinator in lockstep.
+	dialBO := newBackoff(100*time.Millisecond, 2*time.Second, s.cfg.Endpoint.Addr()+"/dial")
 	var lastErr error
 	for time.Now().Before(deadline) {
 		if err := ctx.Err(); err != nil {
@@ -170,6 +189,11 @@ func (s *workerSession) handshake(ctx context.Context) error {
 				return ErrDrained
 			}
 			lastErr = err
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(dialBO.next()):
+			}
 			continue
 		}
 		var w proto.Welcome
@@ -194,6 +218,14 @@ func (s *workerSession) handshake(ctx context.Context) error {
 		if s.hb <= 0 {
 			s.hb = DefaultHeartbeat
 		}
+		s.leaseTO = time.Duration(w.LeaseTimeoutMillis) * time.Millisecond
+		if s.leaseTO <= 0 {
+			s.leaseTO = defaultLeaseTimeoutBeats * s.hb
+		}
+		// Lease-wait pacing: start at the heartbeat, never sleep past the
+		// lease timeout — an expired range must find a taker within one
+		// timeout, or the re-lease itself would stall the run.
+		s.waitBO = newBackoff(s.hb, s.leaseTO, s.cfg.Endpoint.Addr()+"/wait")
 		s.logf("worker: joined %s — suite %s (%s), %d scenarios, heartbeat %s",
 			s.cfg.Coordinator, suite.Name, w.Fingerprint, w.Scenarios, s.hb)
 		return nil
@@ -216,6 +248,7 @@ func (s *workerSession) requestLease(ctx context.Context) (proto.Lease, bool, er
 		if kind == proto.KindLease {
 			var lease proto.Lease
 			if uerr := proto.Unmarshal(raw, &lease); uerr == nil && lease.End > lease.Start {
+				s.waitBO.reset()
 				return lease, false, nil
 			}
 			continue
@@ -225,10 +258,13 @@ func (s *workerSession) requestLease(ctx context.Context) (proto.Lease, bool, er
 			if wait.Drain {
 				return proto.Lease{}, true, nil
 			}
-			backoff := time.Duration(wait.BackoffMillis) * time.Millisecond
-			if backoff <= 0 {
-				backoff = s.hb
-			}
+			// The server's hint is advice, not an order: clamp it to sane
+			// bounds (a corrupted-but-parseable frame must not park us for
+			// an hour), grow our own exponential schedule underneath it,
+			// and never sleep past the lease timeout — an expired range
+			// needs a taker within one timeout.
+			backoff := max(clampServerBackoff(wait.BackoffMillis, s.hb), s.waitBO.next())
+			backoff = min(backoff, max(s.leaseTO, s.hb))
 			select {
 			case <-ctx.Done():
 				return proto.Lease{}, false, ctx.Err()
@@ -279,6 +315,7 @@ func (s *workerSession) runLease(ctx context.Context, lease proto.Lease) error {
 		Cache:     s.cfg.Cache,
 		Indices:   indices,
 		Telemetry: s.cfg.Telemetry,
+		Chaos:     s.cfg.Chaos,
 		OnRecord: func(rec RunRecord) error {
 			data, merr := json.Marshal(rec)
 			if merr != nil {
@@ -356,6 +393,7 @@ func (s *workerSession) call(ctx context.Context, kind proto.Kind, payload any,
 					continue
 				}
 				if match(k, raw) {
+					s.sendBO.reset()
 					return k, raw, nil
 				}
 				s.stray(k, raw)
@@ -368,10 +406,13 @@ func (s *workerSession) call(ctx context.Context, kind proto.Kind, payload any,
 		}
 		if err := s.send(kind, payload); err != nil {
 			lastErr = err
+			// Exponential, jittered, capped: an injected connection reset
+			// or redial race backs off instead of machine-gunning the
+			// coordinator on a fixed 200ms cadence.
 			select {
 			case <-ctx.Done():
 				return "", nil, ctx.Err()
-			case <-time.After(200 * time.Millisecond):
+			case <-time.After(s.sendBO.next()):
 			}
 			continue
 		}
@@ -396,6 +437,7 @@ func (s *workerSession) call(ctx context.Context, kind proto.Kind, payload any,
 				}
 				if match(k, raw) {
 					timer.Stop()
+					s.sendBO.reset()
 					return k, raw, nil
 				}
 				s.stray(k, raw)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -51,6 +52,8 @@ type TCPEndpoint struct {
 	inbound []net.Conn
 	closed  bool
 	wg      sync.WaitGroup
+
+	quarantined atomic.Int64
 }
 
 // lockedConn pairs an outbound connection with a write mutex so two
@@ -221,11 +224,26 @@ func (e *TCPEndpoint) acceptLoop() {
 	}
 }
 
+// QuarantinedFrames reports how many oversized frames this endpoint has
+// discarded without tearing down their connections (see readLoop).
+func (e *TCPEndpoint) QuarantinedFrames() int64 { return e.quarantined.Load() }
+
 func (e *TCPEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
 	defer conn.Close()
 	for {
 		from, payload, err := readFrame(conn)
+		if errors.Is(err, errOversized) {
+			// Quarantine, don't amputate: the oversized payload was already
+			// drained off the wire (readFrame keeps the stream framed), so
+			// the connection is still good. Killing it would let one
+			// malformed frame — a bug or a hostile peer — sever a link that
+			// heartbeats, acks and leases share, turning a bad message into
+			// a lease expiry storm. The frame itself is dropped; the decode
+			// layer above never sees it.
+			e.quarantined.Add(1)
+			continue
+		}
 		if err != nil {
 			return
 		}
@@ -259,6 +277,11 @@ func writeFrame(w io.Writer, from string, payload []byte) error {
 	return err
 }
 
+// errOversized marks a frame whose declared payload exceeds maxFrame. The
+// payload bytes have been consumed from the stream by the time readFrame
+// returns it, so the caller may keep reading subsequent frames.
+var errOversized = errors.New("transport: oversized frame")
+
 // readFrame reads one frame written by writeFrame.
 func readFrame(r io.Reader) (from string, payload []byte, err error) {
 	var lenBuf [2]byte
@@ -276,7 +299,14 @@ func readFrame(r io.Reader) (from string, payload []byte, err error) {
 	}
 	size := binary.BigEndian.Uint32(sizeBuf[:])
 	if size > maxFrame {
-		return "", nil, fmt.Errorf("transport: oversized frame (%d bytes)", size)
+		// Drain the declared payload so the stream stays framed, then hand
+		// the caller a typed error: the frame is garbage, the connection is
+		// not. (The sender side enforces maxFrame too, so an oversized
+		// declaration is corruption or malice — either way, quarantine.)
+		if _, derr := io.CopyN(io.Discard, r, int64(size)); derr != nil {
+			return "", nil, derr
+		}
+		return "", nil, fmt.Errorf("%w (%d bytes)", errOversized, size)
 	}
 	payload = make([]byte, size)
 	if _, err = io.ReadFull(r, payload); err != nil {
